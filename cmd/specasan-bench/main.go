@@ -1,0 +1,116 @@
+// specasan-bench regenerates the paper's performance figures:
+//
+//	-fig 6   SPEC CPU2017 normalized execution time (Barriers/STT/GhostMinion/SpecASan)
+//	-fig 7   PARSEC (4 cores) normalized execution time
+//	-fig 8   restricted speculative instructions (SPEC and PARSEC)
+//	-fig 9   SpecCFI vs SpecASan vs SpecASan+CFI on SPEC
+//	-fig 1   defence-class timing comparison on a Spectre-v1 gadget
+//	-all     everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specasan/internal/attacks"
+	"specasan/internal/core"
+	"specasan/internal/cpu"
+	"specasan/internal/harness"
+	"specasan/internal/workloads"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (1, 6, 7, 8, 9)")
+	all := flag.Bool("all", false, "regenerate every figure")
+	scale := flag.Float64("scale", 1.0, "kernel iteration scale")
+	verbose := flag.Bool("v", false, "log each run")
+	flag.Parse()
+
+	opt := harness.DefaultOptions()
+	opt.Scale = *scale
+	opt.Verbose = *verbose
+	opt.Log = os.Stderr
+
+	run := func(n int) {
+		switch n {
+		case 1:
+			figure1()
+		case 6:
+			sw := sweep(workloads.SPEC(), harness.Figure6Mitigations(), opt)
+			fmt.Println(sw.FormatNormalized("Figure 6: SPEC CPU2017, normalized execution time (unsafe baseline = 1.0)"))
+		case 7:
+			sw := sweep(workloads.PARSEC(), harness.Figure6Mitigations(), opt)
+			fmt.Println(sw.FormatNormalized("Figure 7: PARSEC (4 cores), normalized execution time (unsafe baseline = 1.0)"))
+		case 8:
+			sw := sweep(workloads.SPEC(), harness.Figure8Mitigations(), opt)
+			fmt.Println(sw.FormatRestricted("Figure 8 (top): SPEC CPU2017, restricted speculative instructions"))
+			sw = sweep(workloads.PARSEC(), harness.Figure8Mitigations(), opt)
+			fmt.Println(sw.FormatRestricted("Figure 8 (bottom): PARSEC, restricted speculative instructions"))
+		case 9:
+			sw := sweep(workloads.SPEC(), harness.Figure9Mitigations(), opt)
+			fmt.Println(sw.FormatNormalized("Figure 9: SPEC CPU2017, CFI combinations, normalized execution time"))
+		default:
+			fmt.Fprintln(os.Stderr, "specasan-bench: pick -fig 1|6|7|8|9 or -all")
+			os.Exit(2)
+		}
+	}
+	if *all {
+		for _, n := range []int{1, 6, 7, 8, 9} {
+			run(n)
+		}
+		return
+	}
+	run(*fig)
+}
+
+func sweep(specs []*workloads.Spec, mits []core.Mitigation, opt harness.Options) *harness.Sweep {
+	sw, err := harness.RunSweep(specs, mits, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "specasan-bench:", err)
+		os.Exit(1)
+	}
+	return sw
+}
+
+// figure1 contrasts the defence classes on the Spectre-v1 gadget: where in
+// the ACCESS/USE/TRANSMIT chain each defence stops the attack, and what the
+// benign-path timing cost of that choice is.
+func figure1() {
+	fmt.Println("Figure 1: defence classes on the Spectre-v1 gadget")
+	fmt.Println()
+	fmt.Printf("%-13s %-18s %-14s %s\n", "defence", "class", "gadget blocked", "benign v1-shaped loop (cycles)")
+	v := attacks.SpectrePHT().Variants[0]
+	for _, mit := range []core.Mitigation{core.Unsafe, core.Fence, core.STT, core.GhostMinion, core.SpecASan} {
+		out, err := attacks.RunVariant(v, mit)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "specasan-bench:", err)
+			os.Exit(1)
+		}
+		class := map[core.Mitigation]string{
+			core.Unsafe: "none", core.Fence: "delay ACCESS",
+			core.STT: "delay USE", core.GhostMinion: "delay TRANSMIT",
+			core.SpecASan: "delay unsafe ACCESS",
+		}[mit]
+		cycles := benignLoop(mit)
+		fmt.Printf("%-13s %-18s %-14v %d\n", mit, class, !out.Leaked, cycles)
+	}
+	fmt.Println()
+}
+
+// benignLoop measures a benign bounds-checked loop (the victim code of
+// Listing 1 with in-bounds indices) under a mitigation.
+func benignLoop(mit core.Mitigation) uint64 {
+	spec := workloads.ByName("500.perlbench_r")
+	prog, err := spec.Build(mit.MTEEnabled(), 0.1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "specasan-bench:", err)
+		os.Exit(1)
+	}
+	m, err := cpu.NewMachine(core.DefaultConfig(), mit, prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "specasan-bench:", err)
+		os.Exit(1)
+	}
+	return m.Run(100_000_000).Cycles
+}

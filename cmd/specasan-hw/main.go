@@ -1,0 +1,14 @@
+// specasan-hw prints the Table 3 hardware-cost model: the area, static power
+// and dynamic energy overheads of ARM MTE, SpecASan, and SpecASan+CFI on the
+// affected core structures.
+package main
+
+import (
+	"fmt"
+
+	"specasan/internal/hwcost"
+)
+
+func main() {
+	fmt.Print(hwcost.Format(hwcost.Model()))
+}

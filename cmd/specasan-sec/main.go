@@ -1,0 +1,58 @@
+// specasan-sec runs the Table 1 security evaluation: every attack PoC under
+// every mitigation column, printing the full/partial/none verdict matrix,
+// and optionally the per-variant leak details.
+//
+// Usage:
+//
+//	specasan-sec              # the Table 1 matrix
+//	specasan-sec -detail      # per-variant outcomes
+//	specasan-sec -attack RIDL # a single row
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specasan/internal/attacks"
+	"specasan/internal/harness"
+)
+
+func main() {
+	detail := flag.Bool("detail", false, "print per-variant outcomes")
+	one := flag.String("attack", "", "evaluate a single attack by name")
+	flag.Parse()
+
+	if !*detail && *one == "" {
+		if err := harness.SecurityMatrix(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	for _, a := range attacks.All() {
+		if *one != "" && a.Name != *one {
+			continue
+		}
+		fmt.Printf("%s [%s]\n", a.Name, a.Class)
+		for _, mit := range attacks.TableMitigations() {
+			verdict, outs, err := a.Evaluate(mit)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  %-13s %s (%s)\n", mit, verdict, verdict.Word())
+			if *detail {
+				for _, o := range outs {
+					fmt.Printf("    %-30s leaked=%-5v secretReads=%-3d events=%v\n",
+						o.Variant, o.Leaked, o.SecretReads, o.Events)
+				}
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "specasan-sec:", err)
+	os.Exit(1)
+}

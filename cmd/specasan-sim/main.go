@@ -1,0 +1,118 @@
+// specasan-sim runs one benchmark kernel (or an assembly file) on the
+// simulated machine under a chosen mitigation and prints pipeline statistics.
+//
+// Usage:
+//
+//	specasan-sim -bench 505.mcf_r -mitigation SpecASan -scale 0.5
+//	specasan-sim -file prog.s -mitigation Unsafe
+//	specasan-sim -config          # print the Table 2 configuration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specasan/internal/asm"
+	"specasan/internal/core"
+	"specasan/internal/cpu"
+	"specasan/internal/harness"
+	"specasan/internal/isa"
+	"specasan/internal/workloads"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark kernel name (e.g. 505.mcf_r, canneal)")
+	file := flag.String("file", "", "assembly file to run instead of a kernel")
+	mitName := flag.String("mitigation", "Unsafe", "Unsafe|MTE|SpecBarrier|STT|GhostMinion|SpecCFI|SpecASan|SpecASan+CFI")
+	scale := flag.Float64("scale", 1.0, "kernel iteration scale")
+	maxCycles := flag.Uint64("max-cycles", 500_000_000, "cycle budget")
+	showConfig := flag.Bool("config", false, "print the simulated CPU configuration (Table 2) and exit")
+	trace := flag.Bool("trace", false, "print a pipeline event trace")
+	pipeview := flag.Int("pipeview", 0, "render a timeline of the last N instructions")
+	flag.Parse()
+
+	if *showConfig {
+		printConfig()
+		return
+	}
+	mit, err := core.ParseMitigation(*mitName)
+	if err != nil {
+		fatal(err)
+	}
+
+	var prog *asm.Program
+	cfg := core.DefaultConfig()
+	threads := 1
+	switch {
+	case *bench != "":
+		spec := workloads.ByName(*bench)
+		if spec == nil {
+			fatal(fmt.Errorf("unknown benchmark %q (see internal/workloads)", *bench))
+		}
+		threads = spec.Threads
+		prog, err = spec.Build(mit.MTEEnabled(), *scale)
+	case *file != "":
+		var src []byte
+		src, err = os.ReadFile(*file)
+		if err == nil {
+			prog, err = asm.Assemble(string(src))
+		}
+	default:
+		fatal(fmt.Errorf("need -bench or -file (or -config)"))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg.Cores = threads
+	m, err := cpu.NewMachine(cfg, mit, prog)
+	if err != nil {
+		fatal(err)
+	}
+	for i := 0; i < threads; i++ {
+		m.Core(i).SetReg(isa.X0, uint64(i))
+	}
+	if *trace {
+		m.Core(0).TraceFn = func(f string, a ...any) { fmt.Printf(f+"\n", a...) }
+	}
+	var rec *cpu.Recorder
+	if *pipeview > 0 {
+		rec = cpu.NewRecorder(*pipeview * 4)
+		m.Core(0).Rec = rec
+	}
+	res := m.Run(*maxCycles)
+	if rec != nil {
+		defer fmt.Print(rec.Render(*pipeview))
+	}
+	fmt.Printf("mitigation   %s\n", mit)
+	fmt.Printf("cycles       %d\n", res.Cycles)
+	fmt.Printf("committed    %d\n", res.Committed)
+	fmt.Printf("ipc          %.3f\n", res.IPC())
+	fmt.Printf("timed-out    %v\n", res.TimedOut)
+	fmt.Printf("faulted      %v\n", res.Faulted)
+	if out := m.Core(0).Output; len(out) > 0 {
+		fmt.Printf("output       %q\n", out)
+	}
+	fmt.Println("\ncounters:")
+	fmt.Print(harness.FormatStats(res.Stats))
+}
+
+func printConfig() {
+	c := core.DefaultConfig()
+	fmt.Println("Table 2: configuration of the simulated CPU")
+	fmt.Printf("  CPU                 ARM Cortex A76-class out-of-order core\n")
+	fmt.Printf("  Issue/Commit        %d-way issue, %d micro-ops/cycle commit\n", c.IssueWidth, c.CommitWidth)
+	fmt.Printf("  IQ/ROB              %d-entry Issue Queue, %d-entry Reorder Buffer\n", c.IQEntries, c.ROBEntries)
+	fmt.Printf("  LDQ/STQ             %d-entry each\n", c.LQEntries)
+	fmt.Printf("  L1 I-Cache          %d KB, %d-way, 64B line, %d cycle hit\n", c.L1ISizeKB, c.L1IWays, c.L1ILatency)
+	fmt.Printf("  L1 D-Cache          %d KB, %d-way, 64B line, %d cycle hit, tagged\n", c.L1DSizeKB, c.L1DWays, c.L1DLatency)
+	fmt.Printf("  L2 Cache            %d KB, %d-way, 64B line, %d cycle hit, tagged\n", c.L2SizeKB, c.L2Ways, c.L2Latency)
+	fmt.Printf("  Line Fill Buffer    %d-entry (cache line), 2 cycle hit, tagged\n", c.LFBEntries)
+	fmt.Printf("  DRAM                %d cycle latency, %d-cycle bursts (+%d tag)\n", c.DRAMLatency, c.DRAMBurst, c.TagBurst)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "specasan-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module specasan
+
+go 1.22

@@ -1,0 +1,28 @@
+package asm
+
+import "testing"
+
+// TestAssembleLargeProgram exercises block bookkeeping on a big input.
+func TestAssembleLargeProgram(t *testing.T) {
+	src := "_start:\n"
+	for i := 0; i < 20000; i++ {
+		src += "    ADD X1, X1, #1\n"
+	}
+	src += "    SVC #0\n"
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumInsts() != 20001 {
+		t.Fatalf("insts = %d", p.NumInsts())
+	}
+	if in := p.InstAt(p.Entry + 20000*4); in.Op.String() != "SVC" {
+		t.Fatalf("last inst = %v", in)
+	}
+	if p.InstAt(p.Entry+20001*4) != nil {
+		t.Fatal("out-of-range InstAt must be nil")
+	}
+	if p.InstAt(p.Entry+2) != nil {
+		t.Fatal("misaligned InstAt must be nil")
+	}
+}

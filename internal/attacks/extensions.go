@@ -1,0 +1,202 @@
+package attacks
+
+// Beyond-Table-1 attacks from the paper's §6 discussion: Load Value
+// Injection (partially mitigable — the buffer-injection mechanism is
+// blocked by tag validation, register-targeted variants are not) and the
+// hardware-prefetcher channel (closed by the checked-prefetcher extension
+// the paper leaves to future work).
+
+import (
+	"fmt"
+
+	"specasan/internal/asm"
+	"specasan/internal/core"
+	"specasan/internal/cpu"
+)
+
+// LVI builds the Load Value Injection discussion case (§6).
+//
+//   - buffer-inject: the victim's assisted load transiently consumes an
+//     attacker-planted in-flight LFB value and uses it as an index into its
+//     own (uniformly tagged) buffer, steering a tag-valid access to an
+//     intra-allocation secret. SpecASan blocks the *injection*: the
+//     victim's tagged pointer cannot consume the attacker's untagged
+//     in-flight line.
+//   - register-steer: the secret is already in a register from a committed
+//     access; a mistrained branch runs a divider-timing gadget on it.
+//     No memory access is involved, so no tag check can intervene — the
+//     paper's "cannot be mitigated" case.
+func LVI() *Attack {
+	bufferInject := func() (*Scenario, error) {
+		prog, err := asm.Assemble(expand(`
+_start:
+    ADR  X22, probe
+    MOV  X21, #@VBASE@
+    LDG  X21, [X21]        // victim's tagged buffer (secret lives inside it)
+    LDR  X14, [X21, #128]  // victim warms the deep end of its buffer
+    DSB                    // (the first line is being remapped: assisted)
+    ADR  X19, plant
+    LDR  X3, [X19]         // attacker: own line in flight, content = 128
+    MOV  X26, X21          // victim's valid pointer into the assist page
+    EOR  X1, X1, X1
+    ORR  X26, X26, X1      // short delay: sample while the plant is in flight
+    LDR  X4, [X26]         // victim's ASSISTED load: receives the injection
+    AND  X4, X4, #255
+    LDR  X5, [X21, X4]     // steered, tag-valid access inside the allocation
+@TRANSMIT@
+    SVC  #0
+handler:
+    BTI
+    SVC  #0
+
+    .org 0x140000
+plant:
+    .word 128              // the injected index: &victim_buf[128] == secret
+@DATA@
+`, map[string]string{
+			"VBASE":    fmt.Sprint(Array1Addr),
+			"TRANSMIT": transmitSeq,
+			"DATA":     pocDataSection,
+		}))
+		if err != nil {
+			return nil, err
+		}
+		return &Scenario{Prog: prog, Setup: func(m *cpu.Machine) {
+			// The whole victim buffer (array + the secret past it) carries
+			// ONE tag: MTE cannot subdivide an allocation, so the steered
+			// access is tag-valid — only blocking the injection helps.
+			m.Img.WriteU64(SecretAddr, SecretValue)
+			m.Img.Tags.SetRange(Array1Addr, Array1Size+SecretSize, TagVictim)
+			m.Oracle.MarkSecret(SecretAddr, SecretSize)
+			// The victim's own buffer page is being remapped by the OS: its
+			// loads take assists (the classic LVI trigger).
+			m.Core(0).SetAssistRegion(Array1Addr, Array1Addr+64)
+		}}, nil
+	}
+	// The Setup above needs the handler label; wrap Build to fix it up.
+	wrapped := func() (*Scenario, error) {
+		sc, err := bufferInject()
+		if err != nil {
+			return nil, err
+		}
+		inner := sc.Setup
+		sc.Setup = func(m *cpu.Machine) {
+			inner(m)
+			m.Core(0).FaultHandler = sc.Prog.Label("handler")
+		}
+		return sc, nil
+	}
+
+	registerSteer := func() (*Scenario, error) {
+		prog, err := asm.Assemble(expand(`
+_start:
+    ADR  X20, size_slot
+    ADR  X21, array1
+    LDG  X21, [X21]
+    MOV  X13, #@SECRET@
+    LDG  X13, [X13]
+    LDR  X7, [X13]         // committed-path secret read: X7 = secret
+    DSB
+    MOV  X27, #128
+    MOV  X28, #8
+    MOV  X12, #17
+loop:
+    ADR  X9, size_slot
+    DC   CIVAC, X9
+    DSB
+    CMP  X12, #1
+    CSEL X0, X27, X28, EQ
+    BL   victim
+    SUB  X12, X12, #1
+    CBNZ X12, loop
+    SVC  #0
+
+victim:
+    BTI
+    LDR  X1, [X20]
+    CMP  X0, X1
+    B.HS vdone
+    MOV  X9, #3
+    SDIV X15, X7, X9       // divider timing keyed by the REGISTER secret
+vdone:
+    RET
+
+    .org 0x120000
+size_slot:
+    .word 16
+@DATA@
+`, map[string]string{
+			"SECRET": fmt.Sprint(SecretAddr),
+			"DATA":   pocDataSection,
+		}))
+		if err != nil {
+			return nil, err
+		}
+		return &Scenario{Prog: prog, Setup: setupCommon}, nil
+	}
+
+	return &Attack{
+		Name:  "LVI",
+		Class: "§6",
+		Variants: []Variant{
+			{Name: "buffer-inject", Build: wrapped},
+			{Name: "register-steer", Build: registerSteer},
+		},
+	}
+}
+
+// PrefetchLeak demonstrates the §6 prefetcher channel: a demand miss on the
+// attacker's own line makes the next-line prefetcher pull the adjacent
+// secret line into the cache — a state change the attacker induced without
+// any access of its own. The scenario must run on a machine with the
+// prefetcher enabled (see RunPrefetchLeak).
+func PrefetchLeak() (*Scenario, error) {
+	prog, err := asm.Assemble(expand(`
+_start:
+    MOV  X21, #@MINE@
+    LDG  X21, [X21]
+    LDR  X1, [X21]         // demand miss right below the secret line
+    SVC  #0
+@DATA@
+`, map[string]string{
+		"MINE": fmt.Sprint(SecretAddr - 64),
+		"DATA": pocDataSection,
+	}))
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{Prog: prog, Setup: func(m *cpu.Machine) {
+		m.Img.WriteU64(SecretAddr, SecretValue)
+		m.Img.Tags.SetRange(SecretAddr-64, 64, TagVictim) // attacker-reachable
+		m.Img.Tags.SetRange(SecretAddr, SecretSize, TagSecret)
+		m.Oracle.MarkSecret(SecretAddr, 64)
+	}}, nil
+}
+
+// RunPrefetchLeak executes the prefetcher scenario with the prefetcher on
+// and the checked-prefetcher extension as given, reporting whether the
+// secret line was pulled into the cache.
+func RunPrefetchLeak(mit core.Mitigation, checked bool) (leaked bool, err error) {
+	sc, err := PrefetchLeak()
+	if err != nil {
+		return false, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.PrefetcherOn = true
+	cfg.PrefetchChecked = checked
+	m, err := cpu.NewMachine(cfg, mit, sc.Prog)
+	if err != nil {
+		return false, err
+	}
+	sc.Setup(m)
+	res := m.Run(1_000_000)
+	if res.TimedOut {
+		return false, fmt.Errorf("prefetch scenario timed out")
+	}
+	return m.Oracle.Leaked(), nil
+}
+
+// Extensions returns the §6 discussion attacks (not part of Table 1).
+func Extensions() []*Attack {
+	return []*Attack{LVI()}
+}

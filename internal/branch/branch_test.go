@@ -1,0 +1,195 @@
+package branch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newP() *Predictor {
+	return New(Config{PHTBits: 10, BTBSize: 64, RSBDepth: 8, BHBLen: 8})
+}
+
+func TestCondTraining(t *testing.T) {
+	p := newP()
+	pc := uint64(0x1000)
+	// Train always-taken: after the history warms up the prediction sticks.
+	for i := 0; i < 20; i++ {
+		p.TrainCond(pc, true)
+	}
+	taken, _ := p.PredictCond(pc)
+	if !taken {
+		t.Fatal("always-taken branch must predict taken")
+	}
+	// Retrain not-taken (enough iterations for the 10-bit history to
+	// converge and the 2-bit counter to saturate).
+	for i := 0; i < 20; i++ {
+		p.TrainCond(pc, false)
+	}
+	taken, _ = p.PredictCond(pc)
+	if taken {
+		t.Fatal("retrained branch must predict not-taken")
+	}
+}
+
+func TestCondAlternatingPatternLearned(t *testing.T) {
+	// gshare with speculative history must learn a strict alternation.
+	p := newP()
+	pc := uint64(0x2000)
+	outcome := false
+	for i := 0; i < 64; i++ {
+		p.TrainCond(pc, outcome)
+		outcome = !outcome
+	}
+	mispBefore := p.CondMispredicts
+	for i := 0; i < 32; i++ {
+		p.TrainCond(pc, outcome)
+		outcome = !outcome
+	}
+	if d := p.CondMispredicts - mispBefore; d > 2 {
+		t.Fatalf("alternating pattern still mispredicts %d/32 after warmup", d)
+	}
+}
+
+func TestHistoryRepairOnMispredict(t *testing.T) {
+	p := newP()
+	pc := uint64(0x3000)
+	pred, snap := p.PredictCond(pc)
+	// Speculative history advanced by the prediction...
+	if p.GHR() == snap {
+		t.Fatal("PredictCond must advance the speculative history")
+	}
+	// ...and is repaired when the prediction was wrong.
+	p.ResolveCond(pc, snap, pred, !pred)
+	want := snap<<1 | map[bool]uint64{true: 1, false: 0}[!pred]
+	if p.GHR() != want {
+		t.Fatalf("GHR after repair = %#x, want %#x", p.GHR(), want)
+	}
+}
+
+func TestBTB(t *testing.T) {
+	p := newP()
+	p.UpdateTarget(0x4000, 0x9000)
+	if tgt, ok := p.PredictTarget(0x4000); !ok || tgt != 0x9000 {
+		t.Fatal("BTB must return the trained target")
+	}
+	if _, ok := p.PredictTarget(0x4004); ok {
+		t.Fatal("BTB must miss for untrained pc")
+	}
+	// Aliasing: same index, different pc overwrites.
+	alias := 0x4000 + uint64(64)<<2
+	p.UpdateTarget(alias, 0x8000)
+	if _, ok := p.PredictTarget(0x4000); ok {
+		t.Fatal("aliased entry must evict the old pc")
+	}
+}
+
+func TestRSBLIFOAndUnderflow(t *testing.T) {
+	p := newP()
+	if _, ok := p.PredictReturn(); ok {
+		t.Fatal("empty RSB must not predict")
+	}
+	p.PushReturn(1)
+	p.PushReturn(2)
+	p.PushReturn(3)
+	for want := uint64(3); want >= 1; want-- {
+		got, ok := p.PredictReturn()
+		if !ok || got != want {
+			t.Fatalf("pop = %d,%v want %d", got, ok, want)
+		}
+	}
+	if _, ok := p.PredictReturn(); ok {
+		t.Fatal("drained RSB must not predict")
+	}
+}
+
+func TestRSBOverflowWraps(t *testing.T) {
+	p := newP() // depth 8
+	for i := 1; i <= 12; i++ {
+		p.PushReturn(uint64(i))
+	}
+	// The 8 most recent survive: 12..5.
+	for want := uint64(12); want >= 5; want-- {
+		got, ok := p.PredictReturn()
+		if !ok || got != want {
+			t.Fatalf("pop = %d,%v want %d", got, ok, want)
+		}
+	}
+	if _, ok := p.PredictReturn(); ok {
+		t.Fatal("the overwritten entries must be gone")
+	}
+}
+
+func TestPoisonRSB(t *testing.T) {
+	p := newP()
+	p.PoisonRSB(0xbad, 3)
+	for i := 0; i < 3; i++ {
+		if tgt, ok := p.PredictReturn(); !ok || tgt != 0xbad {
+			t.Fatal("poisoned entries must predict the attacker target")
+		}
+	}
+}
+
+func TestIndirectHistoryKeying(t *testing.T) {
+	p := newP()
+	pc := uint64(0x5000)
+	histA := func() {
+		for i := 0; i < 8; i++ { // fully determines the 8-entry BHB
+			p.NoteBranch(0x100, 0x200)
+			p.NoteBranch(0x310, 0x400)
+		}
+	}
+	histB := func() {
+		for i := 0; i < 8; i++ {
+			p.NoteBranch(0x510, 0x600)
+			p.NoteBranch(0x700, 0x810)
+		}
+	}
+	histA()
+	ctxA := p.BHB()
+	p.UpdateIndirect(pc, 0xaaa, 0, false)
+	histB()
+	if p.BHB() == ctxA {
+		t.Fatal("test setup: histories must differ")
+	}
+	p.UpdateIndirect(pc, 0xbbb, 0, false)
+	// Replay history A: the A-trained target must come back even though
+	// the most recent training installed 0xbbb.
+	histA()
+	if p.BHB() != ctxA {
+		t.Fatal("replayed history must reproduce the BHB state")
+	}
+	if tgt, ok := p.PredictIndirect(pc); !ok || tgt != 0xaaa {
+		t.Fatalf("history-keyed prediction = %#x,%v want 0xaaa", tgt, ok)
+	}
+}
+
+func TestIndirectFallsBackToBTB(t *testing.T) {
+	p := newP()
+	p.UpdateTarget(0x6000, 0x7777)
+	if tgt, ok := p.PredictIndirect(0x6000); !ok || tgt != 0x7777 {
+		t.Fatal("indirect prediction must fall back to the BTB")
+	}
+}
+
+func TestRSBNeverReturnsUnpushedValues(t *testing.T) {
+	f := func(pushes []uint64) bool {
+		p := newP()
+		seen := map[uint64]bool{}
+		for _, v := range pushes {
+			p.PushReturn(v)
+			seen[v] = true
+		}
+		for {
+			v, ok := p.PredictReturn()
+			if !ok {
+				return true
+			}
+			if !seen[v] {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

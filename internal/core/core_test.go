@@ -1,0 +1,248 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// fakeROB records SSA signals.
+type fakeROB struct {
+	signals map[uint64]bool
+}
+
+func (f *fakeROB) SignalSSA(seq uint64, safe bool) {
+	if f.signals == nil {
+		f.signals = map[uint64]bool{}
+	}
+	f.signals[seq] = safe
+}
+
+func TestTCSStateMachine(t *testing.T) {
+	rob := &fakeROB{}
+	tsh := NewTSH(rob)
+
+	tsh.Allocate(1)
+	if tsh.Status(1) != TCSInit {
+		t.Fatalf("after allocate: %v", tsh.Status(1))
+	}
+	tsh.OnIssue(1)
+	if tsh.Status(1) != TCSWait {
+		t.Fatalf("after issue: %v", tsh.Status(1))
+	}
+	if got := tsh.OnResult(1, true); got != TCSSafe {
+		t.Fatalf("safe result: %v", got)
+	}
+	if safe, ok := rob.signals[1]; !ok || !safe {
+		t.Fatal("ROB must receive SSA=1")
+	}
+
+	tsh.Allocate(2)
+	tsh.OnIssue(2)
+	if got := tsh.OnResult(2, false); got != TCSUnsafe {
+		t.Fatalf("unsafe result: %v", got)
+	}
+	if safe, ok := rob.signals[2]; !ok || safe {
+		t.Fatal("ROB must receive SSA=0")
+	}
+
+	// Replay transitions back to init; a repeated mismatch on the correct
+	// path raises a fault.
+	tsh.OnReplay(2)
+	if tsh.Status(2) != TCSInit {
+		t.Fatalf("after replay: %v", tsh.Status(2))
+	}
+	tsh.OnFault(2)
+	if tsh.Stats.Faults != 1 {
+		t.Fatal("fault not counted")
+	}
+}
+
+func TestTSHForwarding(t *testing.T) {
+	rob := &fakeROB{}
+	tsh := NewTSH(rob)
+	tsh.Allocate(5)
+	if !tsh.OnForward(5, true) {
+		t.Fatal("matching keys must forward")
+	}
+	if tsh.Status(5) != TCSSafe {
+		t.Fatal("forwarded load must be safe")
+	}
+	tsh.Allocate(6)
+	if tsh.OnForward(6, false) {
+		t.Fatal("mismatching keys must not forward")
+	}
+	if tsh.Status(6) != TCSUnsafe {
+		t.Fatal("denied forward must be unsafe")
+	}
+	if tsh.Stats.Forwarded != 1 || tsh.Stats.ForwardDenied != 1 {
+		t.Fatalf("stats: %+v", tsh.Stats)
+	}
+}
+
+func TestTSHMarkUnsafeAndRelease(t *testing.T) {
+	tsh := NewTSH(&fakeROB{})
+	tsh.Allocate(9)
+	tsh.MarkUnsafe(9)
+	if tsh.Status(9) != TCSUnsafe {
+		t.Fatal("mark-unsafe failed")
+	}
+	// Marking an already unsafe entry must not double count.
+	tsh.MarkUnsafe(9)
+	if tsh.Stats.DepMarked != 1 {
+		t.Fatalf("DepMarked = %d", tsh.Stats.DepMarked)
+	}
+	tsh.Release(9)
+	if tsh.Pending() != 0 {
+		t.Fatal("release must free the entry")
+	}
+}
+
+func TestTSHPendingNeverNegative(t *testing.T) {
+	f := func(ops []uint8) bool {
+		tsh := NewTSH(&fakeROB{})
+		for i, op := range ops {
+			seq := uint64(i%7) + 1
+			switch op % 5 {
+			case 0:
+				tsh.Allocate(seq)
+			case 1:
+				tsh.OnIssue(seq)
+			case 2:
+				tsh.OnResult(seq, op%2 == 0)
+			case 3:
+				tsh.Release(seq)
+			case 4:
+				tsh.MarkUnsafe(seq)
+			}
+			if tsh.Pending() < 0 || tsh.Pending() > 7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMitigationProperties(t *testing.T) {
+	cases := []struct {
+		m                                   Mitigation
+		mte, spec, fence, taint, ghost, cfi bool
+	}{
+		{Unsafe, false, false, false, false, false, false},
+		{MTE, true, false, false, false, false, false},
+		{Fence, false, false, true, false, false, false},
+		{STT, false, false, false, true, false, false},
+		{GhostMinion, false, false, false, false, true, false},
+		{SpecCFI, false, false, false, false, false, true},
+		{SpecASan, true, true, false, false, false, false},
+		{SpecASanCFI, true, true, false, false, false, true},
+	}
+	for _, c := range cases {
+		if c.m.MTEEnabled() != c.mte || c.m.SpecTagChecks() != c.spec ||
+			c.m.FencesSpeculativeLoads() != c.fence || c.m.TaintTracking() != c.taint ||
+			c.m.GhostFills() != c.ghost || c.m.CFIEnabled() != c.cfi {
+			t.Errorf("%v properties wrong", c.m)
+		}
+	}
+}
+
+func TestParseMitigationRoundTrip(t *testing.T) {
+	for _, m := range AllMitigations() {
+		got, err := ParseMitigation(m.String())
+		if err != nil || got != m {
+			t.Errorf("round trip failed for %v: %v %v", m, got, err)
+		}
+	}
+	if _, err := ParseMitigation("nonsense"); err == nil {
+		t.Error("unknown name must error")
+	}
+}
+
+func TestDefaultConfigMatchesTable2(t *testing.T) {
+	c := DefaultConfig()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.IssueWidth != 8 || c.CommitWidth != 8 {
+		t.Error("Table 2: 8-way issue, 8 micro-ops/cycle commit")
+	}
+	if c.IQEntries != 32 || c.ROBEntries != 40 {
+		t.Error("Table 2: 32-entry IQ, 40-entry ROB")
+	}
+	if c.LQEntries != 16 || c.SQEntries != 16 {
+		t.Error("Table 2: 16-entry LDQ/STQ")
+	}
+	if c.L1DSizeKB != 32 || c.L1DWays != 2 || c.L1DLatency != 2 {
+		t.Error("Table 2: 32 KB 2-way L1D, 2-cycle hit")
+	}
+	if c.L2SizeKB != 1024 || c.L2Ways != 16 || c.L2Latency != 12 {
+		t.Error("Table 2: 1 MB 16-way L2, 12-cycle hit")
+	}
+	if c.LFBEntries != 16 {
+		t.Error("Table 2: 16-entry LFB")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.Cores = 0
+	if bad.Validate() == nil {
+		t.Error("zero cores must fail")
+	}
+	bad = DefaultConfig()
+	bad.LineBytes = 32
+	if bad.Validate() == nil {
+		t.Error("non-64B lines must fail")
+	}
+	bad = DefaultConfig()
+	bad.ROBEntries = 1
+	if bad.Validate() == nil {
+		t.Error("tiny ROB must fail")
+	}
+}
+
+func TestOracle(t *testing.T) {
+	o := NewOracle()
+	if o.HasSecrets() || o.Leaked() {
+		t.Fatal("fresh oracle must be empty")
+	}
+	o.MarkSecret(0x1000, 16)
+	if !o.IsSecret(0x1000, 1) || !o.IsSecret(0x100f, 1) || o.IsSecret(0x1010, 1) {
+		t.Fatal("region bounds wrong")
+	}
+	if !o.IsSecret(0xff8, 16) {
+		t.Fatal("overlapping range must count")
+	}
+	o.Record(LeakEvent{Channel: ChanCache})
+	o.Record(LeakEvent{Channel: ChanPort})
+	o.Record(LeakEvent{Channel: ChanCache})
+	if !o.Leaked() || o.EventsOn(ChanCache) != 2 || o.EventsOn(ChanPort) != 1 {
+		t.Fatal("event accounting wrong")
+	}
+	o.Reset()
+	if o.Leaked() || !o.HasSecrets() {
+		t.Fatal("reset must clear events but keep regions")
+	}
+}
+
+func TestNilOracleHasNoSecrets(t *testing.T) {
+	var o *Oracle
+	if o.HasSecrets() {
+		t.Fatal("nil oracle must report no secrets")
+	}
+}
+
+func TestVerdictSymbolsAndChannelNames(t *testing.T) {
+	for c := LeakChannel(0); c < NumChannels; c++ {
+		if c.String() == "" {
+			t.Errorf("channel %d has no name", c)
+		}
+	}
+	for tcs := TCS(0); tcs <= TCSWait; tcs++ {
+		if tcs.String() == "" {
+			t.Errorf("tcs %d has no name", tcs)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Package core implements the paper's primary contribution: Speculative
+// Address Sanitization. It contains the tag-check status (tcs) state machine
+// of Figure 4, the Tag-check Status Handler (TSH) that coordinates the LSQ
+// and the ROB, the selective-delay policy, and the mitigation policy layer
+// that configures the pipeline for each defence the paper evaluates
+// (speculative barriers, STT, GhostMinion, SpecCFI, SpecASan, SpecASan+CFI).
+//
+// The mechanism code here is microarchitecture-facing but pipeline-agnostic:
+// internal/cpu drives it through small interfaces, and the unit tests
+// exercise the state machine standalone.
+package core
+
+import "fmt"
+
+// Mitigation selects the transient-execution defence configuration of a
+// simulated machine.
+type Mitigation uint8
+
+// Mitigation configurations. Unsafe is the paper's normalisation baseline
+// (no MTE, no speculation restrictions). MTE enforces tag checks on the
+// committed path only — the pre-SpecASan status quo.
+const (
+	Unsafe Mitigation = iota
+	MTE
+	Fence       // "Speculative Barriers": no load issues under unresolved speculation
+	STT         // Speculative Taint Tracking (STT-Default)
+	GhostMinion // shadow fill structure for speculative loads
+	SpecCFI     // speculative control-flow integrity (BTI-validated targets)
+	SpecASan    // this paper: MTE checks enforced on the speculative path
+	SpecASanCFI // SpecASan + SpecCFI
+	NumMitigations
+)
+
+var mitigationNames = [NumMitigations]string{
+	Unsafe: "Unsafe", MTE: "MTE", Fence: "SpecBarrier", STT: "STT",
+	GhostMinion: "GhostMinion", SpecCFI: "SpecCFI", SpecASan: "SpecASan",
+	SpecASanCFI: "SpecASan+CFI",
+}
+
+// String returns the mitigation's display name.
+func (m Mitigation) String() string {
+	if m < NumMitigations {
+		return mitigationNames[m]
+	}
+	return fmt.Sprintf("Mitigation(%d)", uint8(m))
+}
+
+// ParseMitigation resolves a display name back to a Mitigation.
+func ParseMitigation(s string) (Mitigation, error) {
+	for m := Mitigation(0); m < NumMitigations; m++ {
+		if mitigationNames[m] == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown mitigation %q", s)
+}
+
+// MTEEnabled reports whether the platform performs MTE tag checks at all
+// (tag-storage fetches, committed-path faults).
+func (m Mitigation) MTEEnabled() bool {
+	switch m {
+	case MTE, SpecASan, SpecASanCFI:
+		return true
+	}
+	return false
+}
+
+// SpecTagChecks reports whether tag checks gate the *speculative* path —
+// the SpecASan mechanism itself.
+func (m Mitigation) SpecTagChecks() bool {
+	return m == SpecASan || m == SpecASanCFI
+}
+
+// FencesSpeculativeLoads reports whether every load is delayed until all
+// older control speculation resolves (the delay-ACCESS barrier baseline).
+func (m Mitigation) FencesSpeculativeLoads() bool { return m == Fence }
+
+// TaintTracking reports whether STT dataflow taint is active.
+func (m Mitigation) TaintTracking() bool { return m == STT }
+
+// GhostFills reports whether speculative fills are redirected to the ghost
+// buffer instead of the cache hierarchy.
+func (m Mitigation) GhostFills() bool { return m == GhostMinion }
+
+// CFIEnabled reports whether speculative control-flow targets are validated.
+func (m Mitigation) CFIEnabled() bool {
+	return m == SpecCFI || m == SpecASanCFI
+}
+
+// AllMitigations lists every configuration, in presentation order.
+func AllMitigations() []Mitigation {
+	out := make([]Mitigation, NumMitigations)
+	for i := range out {
+		out[i] = Mitigation(i)
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package core
+
+import "fmt"
+
+// LeakChannel identifies the microarchitectural structure through which a
+// speculatively accessed secret became observable. The empirical security
+// evaluation (§4.3 of the paper) judges an attack "successful" when a
+// secret-tainted value influences one of these channels during speculation;
+// this mirrors the paper's detection-log methodology.
+type LeakChannel uint8
+
+// Leak channels.
+const (
+	ChanCache   LeakChannel = iota // cache fill with secret-dependent address
+	ChanLFB                        // stale LFB data forwarded to a load
+	ChanSQ                         // stale store-queue data forwarded to a load
+	ChanPort                       // execution-port contention (SMoTHERSpectre)
+	ChanMSHR                       // MSHR occupancy perturbation (Spec. Interference)
+	ChanDivider                    // non-pipelined divider contention (SpectreRewind)
+	NumChannels
+)
+
+var chanNames = [NumChannels]string{
+	ChanCache: "cache", ChanLFB: "lfb", ChanSQ: "sq",
+	ChanPort: "port", ChanMSHR: "mshr", ChanDivider: "div",
+}
+
+// String names the channel.
+func (c LeakChannel) String() string {
+	if c < NumChannels {
+		return chanNames[c]
+	}
+	return fmt.Sprintf("chan(%d)", uint8(c))
+}
+
+// LeakEvent records one secret-dependent microarchitectural state change
+// observed during speculative execution.
+type LeakEvent struct {
+	Channel LeakChannel
+	Cycle   uint64
+	Seq     uint64 // instruction sequence number
+	PC      uint64
+	Addr    uint64 // address involved, if any
+}
+
+// Oracle is the always-on security analysis attached to a simulation. The
+// harness marks the secret's memory region; the pipeline propagates
+// "secret taint" through dataflow (independently of any mitigation) and the
+// oracle records every speculative state change influenced by tainted data.
+//
+// A mitigation fully blocks an attack when the oracle records no events for
+// any gadget variant; it partially blocks it when the mismatched-tag variant
+// is silent but the matched-tag variant still leaks.
+type Oracle struct {
+	regions []region
+	events  []LeakEvent
+	// SecretReads counts speculative loads that returned secret bytes —
+	// the ACCESS stage succeeding, even if transmission was later blocked.
+	SecretReads uint64
+}
+
+type region struct{ lo, hi uint64 }
+
+// NewOracle returns an oracle with no secret regions.
+func NewOracle() *Oracle { return &Oracle{} }
+
+// MarkSecret declares [lo, lo+size) as secret data.
+func (o *Oracle) MarkSecret(lo uint64, size uint64) {
+	o.regions = append(o.regions, region{lo, lo + size})
+}
+
+// IsSecret reports whether any byte of [addr, addr+size) is secret.
+func (o *Oracle) IsSecret(addr uint64, size int) bool {
+	end := addr + uint64(size)
+	for _, r := range o.regions {
+		if addr < r.hi && end > r.lo {
+			return true
+		}
+	}
+	return false
+}
+
+// HasSecrets reports whether any region is marked (fast path for the
+// pipeline: skip taint work entirely during performance runs).
+func (o *Oracle) HasSecrets() bool { return o != nil && len(o.regions) > 0 }
+
+// Record stores a leak event.
+func (o *Oracle) Record(ev LeakEvent) { o.events = append(o.events, ev) }
+
+// Events returns all recorded leak events.
+func (o *Oracle) Events() []LeakEvent { return o.events }
+
+// EventsOn returns the number of events recorded on the given channel.
+func (o *Oracle) EventsOn(c LeakChannel) int {
+	n := 0
+	for _, e := range o.events {
+		if e.Channel == c {
+			n++
+		}
+	}
+	return n
+}
+
+// Leaked reports whether any leak event was recorded.
+func (o *Oracle) Leaked() bool { return len(o.events) > 0 }
+
+// Reset clears recorded events but keeps the secret regions.
+func (o *Oracle) Reset() {
+	o.events = o.events[:0]
+	o.SecretReads = 0
+}

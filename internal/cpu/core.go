@@ -1,0 +1,449 @@
+// Package cpu implements the cycle-level out-of-order core of the simulated
+// machine: an 8-wide fetch/rename/issue/commit pipeline with a reorder
+// buffer, load/store queues with store-to-load forwarding and memory
+// dependence prediction, a functional-unit pool with port contention, branch
+// prediction (PHT/BTB/RSB/BHB), and the security-policy hooks that implement
+// SpecASan and the baseline mitigations it is compared against.
+//
+// The pipeline models the Table 2 configuration of the paper. Functional
+// correctness is defined by internal/golden; differential tests in this
+// package run both and compare architectural state.
+package cpu
+
+import (
+	"specasan/internal/asm"
+	"specasan/internal/branch"
+	"specasan/internal/cache"
+	"specasan/internal/core"
+	"specasan/internal/isa"
+	"specasan/internal/mem"
+	"specasan/internal/mte"
+	"specasan/internal/stats"
+)
+
+// entryState tracks an instruction's progress through the back end.
+type entryState uint8
+
+const (
+	stDispatched entryState = iota // in ROB/IQ, waiting for operands or a port
+	stExecuting                    // occupying a unit, result pending
+	stWaitMem                      // memory access outstanding
+	stWaitUnsafe                   // SpecASan: tag-mismatch delay until resolve
+	stDone                         // result available
+)
+
+// source is a renamed operand: the committed register (producer == 0) or an
+// in-flight producer identified by sequence number.
+type source struct {
+	reg      isa.Reg
+	producer uint64 // 0 = read the committed register file
+}
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	valid bool
+	seq   uint64
+	pc    uint64
+	inst  *isa.Inst
+	state entryState
+
+	srcs      []source
+	flagsFrom uint64 // producer of NZCV this entry reads (0 = committed)
+
+	result      uint64
+	hasResult   bool
+	outFlags    isa.Flags
+	writesFlags bool
+	doneAt      uint64 // cycle the result becomes available
+
+	// Branch bookkeeping.
+	isBranch   bool
+	predTaken  bool
+	predTarget uint64
+	rsbPred    bool   // prediction came from the RSB
+	ghrSnap    uint64 // global-history snapshot at prediction time
+	brResolved bool
+	brTaken    bool
+	actualNext uint64
+
+	// Memory bookkeeping.
+	isLoad, isStore bool
+	addr            uint64 // full pointer (key byte included)
+	addrReady       bool
+	memIssued       bool
+	storeData       uint64
+	forwardedFrom   uint64 // store seq that forwarded data (0 = none)
+	falloutForward  bool   // baseline partial-match forward happened
+	assist          bool   // load to an assist (permission-faulting) region
+	memDepSpec      bool   // issued past unresolved older store addresses
+	tagOK           bool
+	prefetched      bool // SpecASan STL rule: prefetch issued while delayed
+
+	// Speculation tracking.
+	lastBranchSeq uint64 // youngest older branch at dispatch (0 = none)
+
+	// SpecASan.
+	ssaKnown bool
+	ssaSafe  bool
+	replayed bool
+
+	// STT taint: seq of the youngest speculative-load root this value
+	// depends on (0 = untainted).
+	taintRoot uint64
+
+	// Leak-oracle secret taint.
+	secret bool
+
+	// Commit-time exception.
+	fault      bool
+	faultIsTag bool
+
+	// Metrics.
+	policyDelayed bool // delayed >= 1 cycle by the active mitigation
+}
+
+// candidateEvent is a potential leak recorded at execute, promoted to a real
+// leak if the instruction is later squashed (transient execution).
+type candidateEvent struct {
+	seq uint64
+	ev  core.LeakEvent
+}
+
+// Core is one simulated hardware core.
+type Core struct {
+	ID  int
+	cfg *core.Config
+	mit core.Mitigation
+
+	prog   *asm.Program
+	hier   *cache.Hierarchy
+	img    *mem.Image
+	pred   *branch.Predictor
+	tsh    *core.TSH
+	oracle *core.Oracle
+
+	cycle   uint64
+	nextSeq uint64
+	headSeq uint64
+	rob     []robEntry
+
+	cRegs [isa.NumRegs]uint64
+	// cSecret tracks oracle secret taint through the committed register
+	// file (a register holding secret data keeps its taint across commit —
+	// needed for register-targeted LVI analysis).
+	cSecret [isa.NumRegs]bool
+	cFlags  isa.Flags
+
+	// Front end.
+	fetchPC        uint64
+	fetchStallTo   uint64 // i-cache miss / redirect penalty
+	fetchBlockedBy uint64 // unresolved branch seq stalling fetch (CFI / no-prediction)
+	lastFetchLine  uint64 // line of the previous I-fetch (one access per line)
+	fetchQ         []fetchedInst
+	shadowStack    []uint64 // SpecCFI speculative shadow stack (fetch-maintained)
+
+	// Back-end resources.
+	aluFree []uint64
+	mulFree []uint64
+	divFree uint64 // single non-pipelined divider
+	brFree  uint64
+	tagSeed uint64
+	mduPred map[uint64]uint8 // load PC -> conflict counter (memory disambiguation)
+	lqCount int
+	sqCount int
+	iqCount int
+
+	// Termination.
+	Halted   bool
+	Faulted  bool
+	FaultPC  uint64
+	ExitCode uint64
+	Output   []byte
+
+	// Fault recovery (models a signal handler around tag/permission faults,
+	// which the MDS attack loops rely on).
+	FaultHandler uint64 // 0 = fault stops the core
+
+	// Assist (permission-faulting) regions — Meltdown/MDS territory.
+	assistLo, assistHi uint64
+
+	Stats *stats.Set
+
+	// Rec, when set, records per-instruction lifecycle timestamps for the
+	// pipeline viewer (gem5-o3pipeview style).
+	Rec *Recorder
+
+	// TraceFn, when set, receives one line per notable pipeline event
+	// (dispatch, memory issue/response, branch resolution, squash, fault).
+	// The spectre_v1_demo example uses it to print the Figure 5 walkthrough.
+	TraceFn func(format string, args ...any)
+
+	// candidates holds potential leak events keyed by instruction seq;
+	// promoted to the oracle when the instruction is squashed.
+	candidates map[uint64][]core.LeakEvent
+
+	// cached policy flags
+	mteOn        bool
+	specChecks   bool
+	taintOn      bool
+	ghostOn      bool
+	cfiOn        bool
+	fenceOn      bool
+	selectiveDly bool
+}
+
+type fetchedInst struct {
+	pc         uint64
+	inst       *isa.Inst
+	predTaken  bool
+	predTarget uint64
+	rsbPred    bool
+	ghrSnap    uint64
+	// stallOnResolve marks a branch fetch could not predict (or CFI
+	// refused): fetch stays stalled until this instruction resolves.
+	stallOnResolve bool
+}
+
+// NewCore builds a core attached to shared machine structures.
+func NewCore(id int, cfg *core.Config, mit core.Mitigation, prog *asm.Program,
+	hier *cache.Hierarchy, img *mem.Image, oracle *core.Oracle, tagSeed uint64) *Core {
+
+	c := &Core{
+		ID:      id,
+		cfg:     cfg,
+		mit:     mit,
+		prog:    prog,
+		hier:    hier,
+		img:     img,
+		oracle:  oracle,
+		rob:     make([]robEntry, cfg.ROBEntries),
+		nextSeq: 1,
+		headSeq: 1,
+		fetchPC: prog.Entry,
+		aluFree: make([]uint64, cfg.ALUs),
+		mulFree: make([]uint64, 1),
+		mduPred: make(map[uint64]uint8),
+		tagSeed: tagSeed,
+		Stats:   stats.NewSet("core"),
+
+		mteOn:        mit.MTEEnabled(),
+		specChecks:   mit.SpecTagChecks(),
+		taintOn:      mit.TaintTracking(),
+		ghostOn:      mit.GhostFills(),
+		cfiOn:        mit.CFIEnabled(),
+		fenceOn:      mit.FencesSpeculativeLoads(),
+		selectiveDly: cfg.SelectiveDelay,
+	}
+	c.tsh = core.NewTSH(tshROB{c})
+	return c
+}
+
+// tshROB adapts the core's ROB to the TSH's SSA signalling interface.
+type tshROB struct{ c *Core }
+
+// SignalSSA implements core.ROBSignal: the TSH notifies the ROB of a
+// tag-check outcome (Figure 4 steps ④/⑥).
+func (t tshROB) SignalSSA(seq uint64, safe bool) {
+	e := t.c.entry(seq)
+	if e == nil {
+		return
+	}
+	e.ssaKnown, e.ssaSafe = true, safe
+	if !safe {
+		t.c.onUnsafeAccess(e)
+	}
+}
+
+// SetAssistRegion marks [lo,hi) as permission-faulting for this core's
+// loads: accesses return transient (assisted) data and fault at commit.
+func (c *Core) SetAssistRegion(lo, hi uint64) { c.assistLo, c.assistHi = lo, hi }
+
+func (c *Core) inAssist(addr uint64) bool {
+	a := mte.Strip(addr)
+	return c.assistHi > c.assistLo && a >= c.assistLo && a < c.assistHi
+}
+
+// entry returns the ROB entry for seq if still in flight.
+func (c *Core) entry(seq uint64) *robEntry {
+	if seq < c.headSeq || seq >= c.nextSeq {
+		return nil
+	}
+	e := &c.rob[seq%uint64(len(c.rob))]
+	if !e.valid || e.seq != seq {
+		return nil
+	}
+	return e
+}
+
+func (c *Core) robCount() int { return int(c.nextSeq - c.headSeq) }
+
+// oldestUnresolvedBranch returns the seq of the oldest in-flight unresolved
+// branch, or 0 when none exists.
+func (c *Core) oldestUnresolvedBranch() uint64 {
+	for s := c.headSeq; s < c.nextSeq; s++ {
+		e := &c.rob[s%uint64(len(c.rob))]
+		if e.valid && e.isBranch && !e.brResolved {
+			return e.seq
+		}
+	}
+	return 0
+}
+
+// speculative reports whether entry e executes under unresolved control
+// speculation at the current moment.
+func (c *Core) speculative(e *robEntry) bool {
+	if e.lastBranchSeq == 0 {
+		return false
+	}
+	ob := c.oldestUnresolvedBranch()
+	return ob != 0 && ob <= e.lastBranchSeq && ob < e.seq
+}
+
+// olderIncomplete reports whether any older in-flight instruction has not
+// yet produced its result — the lfence drain condition.
+func (c *Core) olderIncomplete(seq uint64) bool {
+	for s := c.headSeq; s < seq; s++ {
+		o := &c.rob[s%uint64(len(c.rob))]
+		if o.valid && (o.state != stDone || o.doneAt > c.cycle) {
+			return true
+		}
+	}
+	return false
+}
+
+// specOrMemDep is the speculation definition STT and GhostMinion use:
+// control speculation or an open memory-dependence window.
+func (c *Core) specOrMemDep(e *robEntry) bool {
+	return c.speculative(e) || c.memDepWindowOpen(e.seq)
+}
+
+// transient reports whether e is younger than any in-flight instruction
+// that may still fault or misspeculate — the wider window MDS-class attacks
+// use. It subsumes control speculation and covers pending faults/assists,
+// unresolved store addresses (memory-dependence windows) and false
+// store-to-load forwards awaiting their write-to-full-address comparison.
+func (c *Core) transient(e *robEntry) bool {
+	if c.speculative(e) {
+		return true
+	}
+	for s := c.headSeq; s < e.seq; s++ {
+		o := &c.rob[s%uint64(len(c.rob))]
+		if !o.valid {
+			continue
+		}
+		if o.fault || o.assist || o.falloutForward {
+			return true
+		}
+		if o.isStore && !o.addrReady {
+			return true
+		}
+	}
+	return false
+}
+
+// memDepWindowOpen reports whether an older store with an unresolved
+// address exists — the window memory-dependence speculation opens. STT and
+// GhostMinion treat loads in this window as speculative (it is part of
+// their threat model); MDS-style fault windows are not.
+func (c *Core) memDepWindowOpen(seq uint64) bool {
+	for s := c.headSeq; s < seq; s++ {
+		o := &c.rob[s%uint64(len(c.rob))]
+		if o.valid && o.isStore && !o.addrReady {
+			return true
+		}
+	}
+	return false
+}
+
+// taintActive reports whether an STT taint root is still live (its value
+// has not reached the visibility point: all older branches resolved and all
+// older store addresses known).
+func (c *Core) taintActive(root uint64) bool {
+	if root == 0 {
+		return false
+	}
+	e := c.entry(root)
+	if e == nil {
+		return false // committed or squashed: taint cleared
+	}
+	return c.specOrMemDep(e)
+}
+
+// entryTainted reports whether any of e's renamed sources carries live STT
+// taint, returning the youngest live root.
+func (c *Core) entryTainted(e *robEntry) uint64 {
+	var root uint64
+	for _, s := range e.srcs {
+		if p := c.entry(s.producer); p != nil && p.taintRoot != 0 && c.taintActive(p.taintRoot) {
+			if p.taintRoot > root {
+				root = p.taintRoot
+			}
+		}
+	}
+	if e.flagsFrom != 0 {
+		if p := c.entry(e.flagsFrom); p != nil && p.taintRoot != 0 && c.taintActive(p.taintRoot) {
+			if p.taintRoot > root {
+				root = p.taintRoot
+			}
+		}
+	}
+	return root
+}
+
+// secretSources reports whether any renamed source carries oracle secret
+// taint, in flight or through the committed register file.
+func (c *Core) secretSources(e *robEntry) bool {
+	for _, s := range e.srcs {
+		if p := c.entry(s.producer); p != nil {
+			if p.secret {
+				return true
+			}
+		} else if s.reg != isa.XZR && c.cSecret[s.reg] {
+			return true
+		}
+	}
+	if e.flagsFrom != 0 {
+		if p := c.entry(e.flagsFrom); p != nil && p.secret {
+			return true
+		}
+	}
+	return false
+}
+
+// trace emits a pipeline event line when tracing is enabled.
+func (c *Core) trace(format string, args ...any) {
+	if c.TraceFn != nil {
+		c.TraceFn(format, args...)
+	}
+}
+
+// Cycle returns the core's current cycle.
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+// Committed returns the number of committed instructions.
+func (c *Core) Committed() uint64 { return c.Stats.Get("commits") }
+
+// Reg reads a committed architectural register (after halt).
+func (c *Core) Reg(r isa.Reg) uint64 {
+	if r == isa.XZR {
+		return 0
+	}
+	return c.cRegs[r]
+}
+
+// SetReg pre-loads a committed register before the run starts.
+func (c *Core) SetReg(r isa.Reg, v uint64) {
+	if r != isa.XZR {
+		c.cRegs[r] = v
+	}
+}
+
+// TSH exposes the core's tag-check status handler (stats, tests).
+func (c *Core) TSH() *core.TSH { return c.tsh }
+
+// Predictor exposes the branch predictor (attack training, tests).
+func (c *Core) Predictor() *branch.Predictor { return c.pred }
+
+// SetPredictor wires the branch predictor (done by the Machine so tests can
+// substitute pre-trained state).
+func (c *Core) SetPredictor(p *branch.Predictor) { c.pred = p }

@@ -1,0 +1,212 @@
+package cpu
+
+// Focused LSQ behaviour tests: forwarding shapes, partial overlaps, atomics,
+// and barrier ordering.
+
+import (
+	"testing"
+
+	"specasan/internal/asm"
+	"specasan/internal/core"
+	"specasan/internal/isa"
+)
+
+func runSrc(t *testing.T, mit core.Mitigation, src string) (*Machine, *RunResult) {
+	t.Helper()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(core.DefaultConfig(), mit, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run(2_000_000)
+	if res.TimedOut {
+		t.Fatalf("timed out: %v", res)
+	}
+	return m, res
+}
+
+func TestExactForwardingSameSize(t *testing.T) {
+	m, res := runSrc(t, core.Unsafe, `
+_start:
+    ADR X1, buf
+    MOV X2, #777
+    STR X2, [X1]
+    LDR X3, [X1]      // exact overlap: forwarded from the SQ
+    SVC #0
+    .org 0x40000
+buf:
+    .space 16
+`)
+	if got := m.Core(0).Reg(isa.X3); got != 777 {
+		t.Fatalf("X3 = %d", got)
+	}
+	if res.Stats.Get("stl_forwards") == 0 {
+		t.Fatal("expected a store-to-load forward")
+	}
+}
+
+func TestContainedForwardByteFromWord(t *testing.T) {
+	m, res := runSrc(t, core.Unsafe, `
+_start:
+    ADR X1, buf
+    MOV X2, #0x1234
+    STR X2, [X1]
+    LDRB X3, [X1, #1]  // byte contained in the 8-byte store
+    SVC #0
+    .org 0x40000
+buf:
+    .space 16
+`)
+	if got := m.Core(0).Reg(isa.X3); got != 0x12 {
+		t.Fatalf("X3 = %#x, want 0x12", got)
+	}
+	if res.Stats.Get("stl_forwards") == 0 {
+		t.Fatal("contained access must forward")
+	}
+}
+
+func TestPartialOverlapWaitsForStore(t *testing.T) {
+	// A word load overlapping a byte store cannot forward; it must wait
+	// until the store commits and then read merged memory.
+	m, _ := runSrc(t, core.Unsafe, `
+_start:
+    ADR X1, buf
+    MOV X2, #0xff
+    STRB X2, [X1, #2]
+    LDR X3, [X1]       // partial overlap: wait, then read memory
+    SVC #0
+    .org 0x40000
+buf:
+    .word 0x1111111111111111
+`)
+	want := uint64(0x1111111111ff1111) // byte 2 replaced
+	if got := m.Core(0).Reg(isa.X3); got != want {
+		t.Fatalf("X3 = %#x, want %#x", got, want)
+	}
+}
+
+func TestSWPALTagFaultUnderSpecASan(t *testing.T) {
+	prog := asm.MustAssemble(`
+_start:
+    ADR X1, cell       // untagged pointer
+    MOV X2, #5
+    SWPAL X2, X3, [X1] // cell is tagged: mismatch
+    SVC #0
+    .org 0x40000
+cell:
+    .word 9
+`)
+	m, err := NewMachine(core.DefaultConfig(), core.SpecASan, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Img.Tags.SetRange(0x40000, 16, 0x5)
+	res := m.Run(1_000_000)
+	if !res.Faulted {
+		t.Fatal("mismatched atomic must fault")
+	}
+	if got := m.Img.ReadU64(0x40000); got != 9 {
+		t.Fatalf("atomic mutated memory despite the fault: %d", got)
+	}
+}
+
+func TestDSBOrdersFlushBeforeLoad(t *testing.T) {
+	// With DC+DSB between two loads of the same line, the second load must
+	// go back to DRAM: the run is ~a full memory latency slower than the
+	// same program without the flush.
+	body := func(flush string) string {
+		return `
+_start:
+    ADR X1, buf
+    LDR X2, [X1]       // warm (cold miss)
+    DSB
+` + flush + `    LDR X3, [X1]
+    SVC #0
+    .org 0x40000
+buf:
+    .word 1
+`
+	}
+	_, noFlush := runSrc(t, core.Unsafe, body(""))
+	_, withFlush := runSrc(t, core.Unsafe, body("    DC  CIVAC, X1\n    DSB\n"))
+	if withFlush.Cycles < noFlush.Cycles+80 {
+		t.Fatalf("flush run %d vs plain %d: the reload did not miss",
+			withFlush.Cycles, noFlush.Cycles)
+	}
+}
+
+func TestStoreQueueCapacityBackpressure(t *testing.T) {
+	// More in-flight stores than SQ entries: the pipeline must stall
+	// dispatch, not lose stores.
+	src := "_start:\n    ADR X1, buf\n"
+	for i := 0; i < 40; i++ {
+		src += "    MOV X2, #7\n"
+		src += "    STR X2, [X1, #" + itoa(i*8) + "]\n"
+	}
+	src += "    SVC #0\n    .org 0x40000\nbuf:\n    .space 512\n"
+	m, _ := runSrc(t, core.Unsafe, src)
+	for i := 0; i < 40; i++ {
+		if got := m.Img.ReadU64(uint64(0x40000 + i*8)); got != 7 {
+			t.Fatalf("store %d lost: %d", i, got)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+// TestMDUTrainsAfterViolation: the first store-bypass violation trains the
+// dependence predictor; a re-run of the same load PC waits instead.
+func TestMDUTrainsAfterViolation(t *testing.T) {
+	src := `
+_start:
+    ADR  X8, slot
+    MOV  X12, #4
+loop:
+    ADR  X9, depslot
+    DC   CIVAC, X9
+    DSB
+    LDR  X1, [X9]
+    AND  X1, X1, #7
+    ADD  X2, X8, X1
+    MOV  X3, #99
+    STR  X3, [X2]
+    LDR  X4, [X8]
+    SUB  X12, X12, #1
+    CBNZ X12, loop
+    SVC  #0
+    .org 0x120000
+depslot:
+    .word 0
+    .org 0x121000
+slot:
+    .word 1
+`
+	m, res := runSrc(t, core.Unsafe, src)
+	v := res.Stats.Get("order_violations")
+	w := res.Stats.Get("mdu_waits")
+	if v == 0 {
+		t.Fatal("first iteration must violate")
+	}
+	if v >= 4 {
+		t.Fatalf("violations = %d: the MDU never learned", v)
+	}
+	if w == 0 {
+		t.Fatal("later iterations must wait on the predicted dependence")
+	}
+	if got := m.Core(0).Reg(isa.X4); got != 99 {
+		t.Fatalf("X4 = %d", got)
+	}
+}

@@ -1,0 +1,179 @@
+package cpu
+
+import (
+	"fmt"
+
+	"specasan/internal/asm"
+	"specasan/internal/branch"
+	"specasan/internal/cache"
+	"specasan/internal/core"
+	"specasan/internal/isa"
+	"specasan/internal/mem"
+	"specasan/internal/mte"
+	"specasan/internal/stats"
+)
+
+// commitStore performs a store's architectural write and timing access at
+// commit, and runs the write-to-full-address comparison that squashes
+// Fallout-style false forwards.
+func (c *Core) commitStore(e *robEntry) {
+	in := e.inst
+	switch in.Op {
+	case isa.STR, isa.STRB:
+		c.hier.Access(cache.AccessReq{
+			Core: c.ID, Ptr: e.addr, Size: in.MemBytes(), Write: true, Now: c.cycle,
+		})
+		c.img.WriteUint(mte.Strip(e.addr), e.storeData, in.MemBytes())
+		c.Stats.Inc("stores_committed")
+		// WTF closing edge: younger loads that took the partial-match
+		// forward from this store re-execute via squash.
+		for s := e.seq + 1; s < c.nextSeq; s++ {
+			l := &c.rob[s%uint64(len(c.rob))]
+			if l.valid && l.falloutForward && l.forwardedFrom == e.seq {
+				c.Stats.Inc("fallout_replays")
+				c.squashAfter(l.seq-1, l.pc)
+				return
+			}
+		}
+	case isa.STG:
+		c.img.Tags.SetLock(e.addr, mte.Key(e.storeData))
+		c.Stats.Inc("tag_stores")
+	case isa.ST2G:
+		t := mte.Key(e.storeData)
+		c.img.Tags.SetLock(e.addr, t)
+		c.img.Tags.SetLock(mte.AlignGranule(e.addr)+mte.GranuleBytes, t)
+		c.Stats.Inc("tag_stores")
+	case isa.SWPAL:
+		// performed at execute (head-of-ROB); nothing to do
+	}
+}
+
+// TagSeedBase seeds IRG's deterministic tag choice on core 0; core i uses
+// TagSeedBase+i. The golden interpreter must use the same seed for
+// differential runs.
+const TagSeedBase = 0x5eca5a
+
+// Machine is a full simulated system: cores, shared memory hierarchy, the
+// leak oracle, and run control.
+type Machine struct {
+	Cfg    core.Config
+	Mit    core.Mitigation
+	Img    *mem.Image
+	Hier   *cache.Hierarchy
+	Cores  []*Core
+	Oracle *core.Oracle
+
+	cycle uint64
+}
+
+// NewMachine builds a machine running prog on every core. For multi-core
+// runs all cores share the program (SPMD) and the memory image; per-core
+// behaviour is steered through registers set with Core.SetReg.
+func NewMachine(cfg core.Config, mit core.Mitigation, prog *asm.Program) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	img := mem.NewImage()
+	img.LoadProgram(prog)
+	oracle := core.NewOracle()
+	hier := cache.NewHierarchy(cache.HierConfig{
+		Cores:     cfg.Cores,
+		L1ISizeKB: cfg.L1ISizeKB, L1IWays: cfg.L1IWays, L1ILatency: cfg.L1ILatency,
+		L1DSizeKB: cfg.L1DSizeKB, L1DWays: cfg.L1DWays, L1DLatency: cfg.L1DLatency,
+		L2SizeKB: cfg.L2SizeKB, L2Ways: cfg.L2Ways, L2Latency: cfg.L2Latency,
+		LineBytes: cfg.LineBytes, LFBEntries: cfg.LFBEntries, MSHRs: cfg.MSHRs,
+		GhostSize: cfg.GhostSize, LoadPorts: cfg.LoadPorts,
+		DRAM:            mem.DRAMConfig{Latency: cfg.DRAMLatency, BurstCycles: cfg.DRAMBurst, TagBurst: cfg.TagBurst},
+		MTEOn:           mit.MTEEnabled(),
+		LFBTagging:      mit.SpecTagChecks() && cfg.LFBTagging,
+		PrefetcherOn:    cfg.PrefetcherOn,
+		PrefetchChecked: cfg.PrefetchChecked && mit.SpecTagChecks(),
+	}, img)
+
+	// Prefetches of secret-holding lines are observable state changes the
+	// attacker can induce — the §6 prefetcher channel.
+	hier.PrefetchSecretHit = func(lineAddr uint64) {
+		if oracle.HasSecrets() && oracle.IsSecret(lineAddr, cfg.LineBytes) {
+			oracle.Record(core.LeakEvent{Channel: core.ChanCache, Addr: lineAddr})
+		}
+	}
+
+	m := &Machine{Cfg: cfg, Mit: mit, Img: img, Hier: hier, Oracle: oracle}
+	for i := 0; i < cfg.Cores; i++ {
+		c := NewCore(i, &m.Cfg, mit, prog, hier, img, oracle, TagSeedBase+uint64(i))
+		c.SetPredictor(branch.New(branch.Config{
+			PHTBits: cfg.PHTBits, BTBSize: cfg.BTBSize,
+			RSBDepth: cfg.RSBDepth, BHBLen: cfg.BHBLen,
+		}))
+		m.Cores = append(m.Cores, c)
+	}
+	return m, nil
+}
+
+// Core returns core i.
+func (m *Machine) Core(i int) *Core { return m.Cores[i] }
+
+// Done reports whether every core has halted or faulted.
+func (m *Machine) Done() bool {
+	for _, c := range m.Cores {
+		if !c.Halted && !c.Faulted {
+			return false
+		}
+	}
+	return true
+}
+
+// Step advances the whole machine by one cycle.
+func (m *Machine) Step() {
+	m.cycle++
+	for _, c := range m.Cores {
+		c.Tick()
+	}
+}
+
+// RunResult summarises a completed (or timed-out) run.
+type RunResult struct {
+	Cycles    uint64
+	Committed uint64 // total across cores
+	TimedOut  bool
+	Faulted   bool
+	FaultCore int
+	Stats     *stats.Set // merged core stats
+}
+
+// Run executes until every core halts or maxCycles elapse.
+func (m *Machine) Run(maxCycles uint64) *RunResult {
+	for m.cycle < maxCycles && !m.Done() {
+		m.Step()
+	}
+	res := &RunResult{Cycles: m.cycle, TimedOut: !m.Done(), FaultCore: -1}
+	res.Stats = stats.NewSet("machine")
+	for i, c := range m.Cores {
+		res.Committed += c.Committed()
+		res.Stats.Merge(c.Stats)
+		if c.Faulted {
+			res.Faulted = true
+			if res.FaultCore < 0 {
+				res.FaultCore = i
+			}
+		}
+	}
+	return res
+}
+
+// Cycle returns the global cycle count.
+func (m *Machine) Cycle() uint64 { return m.cycle }
+
+// IPC returns committed instructions per cycle across the machine.
+func (r *RunResult) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Committed) / float64(r.Cycles)
+}
+
+// String summarises the run.
+func (r *RunResult) String() string {
+	return fmt.Sprintf("run{cycles=%d committed=%d ipc=%.2f timedOut=%v faulted=%v}",
+		r.Cycles, r.Committed, r.IPC(), r.TimedOut, r.Faulted)
+}

@@ -1,0 +1,59 @@
+package cpu
+
+import (
+	"testing"
+
+	"specasan/internal/core"
+	"specasan/internal/isa"
+)
+
+func TestCSELAndFlagsThroughPipeline(t *testing.T) {
+	m, _ := runSrc(t, core.Unsafe, `
+_start:
+    MOV  X1, #5
+    MOV  X2, #100
+    MOV  X3, #200
+    CMP  X1, #5
+    CSEL X4, X2, X3, EQ
+    CMP  X1, #6
+    CSEL X5, X2, X3, EQ
+    ADDS X6, X1, #-5     // sets Z
+    CSEL X7, X2, X3, EQ
+    SVC  #0
+`)
+	c := m.Core(0)
+	if c.Reg(isa.X4) != 100 || c.Reg(isa.X5) != 200 || c.Reg(isa.X7) != 100 {
+		t.Fatalf("CSEL chain: %d %d %d", c.Reg(isa.X4), c.Reg(isa.X5), c.Reg(isa.X7))
+	}
+}
+
+func TestMOVKReadModifyWrite(t *testing.T) {
+	m, _ := runSrc(t, core.Unsafe, `
+_start:
+    MOV  X0, #0x1111
+    MOVK X0, #0x2222, LSL #16
+    MOVK X0, #0x3333, LSL #32
+    SVC  #0
+`)
+	if got := m.Core(0).Reg(isa.X0); got != 0x0000_3333_2222_1111 {
+		t.Fatalf("X0 = %#x", got)
+	}
+}
+
+func TestOutputOrderingAcrossSquashes(t *testing.T) {
+	// SVC prints happen at commit, so squashes never duplicate or reorder
+	// output even with mispredicted branches in between.
+	m, _ := runSrc(t, core.Unsafe, `
+_start:
+    MOV X12, #5
+loop:
+    MOV X0, X12
+    SVC #1
+    SUB X12, X12, #1
+    CBNZ X12, loop
+    SVC #0
+`)
+	if got := string(m.Core(0).Output); got != "5\n4\n3\n2\n1\n" {
+		t.Fatalf("output = %q", got)
+	}
+}

@@ -1,0 +1,759 @@
+package cpu
+
+import (
+	"specasan/internal/core"
+	"specasan/internal/isa"
+)
+
+// Tick advances the core by one clock cycle. Stages run back-to-front so a
+// result produced this cycle is consumed no earlier than the next.
+func (c *Core) Tick() {
+	if c.Halted || c.Faulted {
+		return
+	}
+	c.cycle++
+	c.commit()
+	if c.Halted || c.Faulted {
+		return
+	}
+	c.completeExecution()
+	c.advanceLSQ()
+	c.issue()
+	c.dispatch()
+	c.fetch()
+}
+
+// ---------------------------------------------------------------- fetch --
+
+func (c *Core) fetch() {
+	if len(c.fetchQ) >= c.cfg.FetchWidth*2 {
+		return
+	}
+	if c.cycle < c.fetchStallTo {
+		return
+	}
+	if c.fetchBlockedBy != 0 {
+		if c.entry(c.fetchBlockedBy) != nil {
+			c.Stats.Inc("fetch_cfi_stall_cycles")
+			return // still waiting for the branch to resolve
+		}
+		c.fetchBlockedBy = 0
+	}
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		in := c.prog.InstAt(c.fetchPC)
+		if in == nil {
+			return // off the edge of code; dispatch will fault if reached
+		}
+		// One I-cache access per line per fetch group.
+		if line := c.fetchPC &^ uint64(c.cfg.LineBytes-1); line != c.lastFetchLine {
+			ready := c.hier.FetchInst(c.ID, c.fetchPC, c.cycle)
+			if ready > c.cycle+c.cfg.L1ILatency {
+				c.fetchStallTo = ready // i-cache miss
+				return
+			}
+			c.lastFetchLine = line
+		}
+		fi := fetchedInst{pc: c.fetchPC, inst: in}
+		next := c.fetchPC + isa.InstBytes
+
+		switch in.Op {
+		case isa.B:
+			fi.predTaken, fi.predTarget = true, uint64(in.Imm)
+		case isa.BL:
+			fi.predTaken, fi.predTarget = true, uint64(in.Imm)
+			c.pred.PushReturn(next)
+			if c.cfiOn {
+				c.shadowStack = append(c.shadowStack, next)
+			}
+		case isa.BCC, isa.CBZ, isa.CBNZ:
+			taken, snap := c.pred.PredictCond(fi.pc)
+			fi.ghrSnap = snap
+			if taken {
+				fi.predTaken, fi.predTarget = true, uint64(in.Imm)
+			}
+		case isa.BR, isa.BLR:
+			t, ok := c.pred.PredictIndirect(fi.pc)
+			if in.Op == isa.BLR {
+				c.pred.PushReturn(next)
+				if c.cfiOn {
+					c.shadowStack = append(c.shadowStack, next)
+				}
+			}
+			if !ok {
+				// No prediction: stall fetch until the branch resolves.
+				fi.stallOnResolve = true
+				c.fetchQ = append(c.fetchQ, fi)
+				c.fetchBlockedBy = ^uint64(0) // rebound to the seq at dispatch
+				return
+			}
+			fi.predTaken, fi.predTarget = true, t
+			if c.cfiOn && !c.targetIsBTI(t) {
+				// SpecCFI: speculation to a non-BTI target is not allowed;
+				// stall until the branch resolves.
+				fi.predTaken = false
+				fi.stallOnResolve = true
+				c.fetchQ = append(c.fetchQ, fi)
+				c.fetchBlockedBy = ^uint64(0)
+				c.Stats.Inc("cfi_blocked_indirect")
+				return
+			}
+		case isa.RET:
+			t, ok := c.pred.PredictReturn()
+			fi.rsbPred = ok
+			if !ok {
+				fi.stallOnResolve = true
+				c.fetchQ = append(c.fetchQ, fi)
+				c.fetchBlockedBy = ^uint64(0)
+				return
+			}
+			fi.predTaken, fi.predTarget = true, t
+			if c.cfiOn {
+				// SpecCFI: the RSB prediction must agree with the
+				// speculative shadow stack; a poisoned RSB disagrees and
+				// speculation is refused until the return resolves.
+				if !c.shadowTopMatches(t) {
+					fi.predTaken = false
+					fi.stallOnResolve = true
+					c.fetchQ = append(c.fetchQ, fi)
+					c.fetchBlockedBy = ^uint64(0)
+					c.Stats.Inc("cfi_blocked_return")
+					return
+				}
+				c.shadowStack = c.shadowStack[:len(c.shadowStack)-1]
+			}
+		}
+
+		c.fetchQ = append(c.fetchQ, fi)
+		if in.IsBranch() {
+			// The BHB is updated speculatively at fetch with the predicted
+			// path (as on real front ends) — which is exactly what makes
+			// branch-history injection trainable.
+			nxt := next
+			if fi.predTaken {
+				nxt = fi.predTarget
+			}
+			c.pred.NoteBranch(fi.pc, nxt)
+		}
+		if fi.predTaken {
+			c.fetchPC = fi.predTarget
+			if c.cfiOn && (in.Op == isa.BR || in.Op == isa.BLR) {
+				// SpecCFI validates that the predicted target is a BTI
+				// landing pad before redirecting: the check reads and
+				// partially decodes the target's instruction bytes — a
+				// short front-end bubble per speculated indirect branch.
+				// (Returns are validated against the shadow stack
+				// register-side and need no bubble when they agree.)
+				c.fetchStallTo = c.cycle + 3
+				c.Stats.Inc("cfi_checks")
+			}
+			return // one taken branch per fetch group
+		}
+		c.fetchPC = next
+	}
+}
+
+func (c *Core) targetIsBTI(pc uint64) bool {
+	in := c.prog.InstAt(pc)
+	return in != nil && in.Op == isa.BTI
+}
+
+func (c *Core) shadowTopMatches(t uint64) bool {
+	n := len(c.shadowStack)
+	return n > 0 && c.shadowStack[n-1] == t
+}
+
+// ------------------------------------------------------------- dispatch --
+
+func (c *Core) dispatch() {
+	for n := 0; n < c.cfg.IssueWidth && len(c.fetchQ) > 0; n++ {
+		if c.robCount() >= len(c.rob) || c.iqCount >= c.cfg.IQEntries {
+			c.Stats.Inc("dispatch_stall_cycles")
+			return
+		}
+		fi := c.fetchQ[0]
+		in := fi.inst
+		if in.IsLoad() && c.lqCount >= c.cfg.LQEntries {
+			return
+		}
+		if in.IsStore() && c.sqCount >= c.cfg.SQEntries {
+			return
+		}
+		c.fetchQ = c.fetchQ[1:]
+
+		seq := c.nextSeq
+		c.nextSeq++
+		e := &c.rob[seq%uint64(len(c.rob))]
+		*e = robEntry{
+			valid: true, seq: seq, pc: fi.pc, inst: in, state: stDispatched,
+			isBranch: in.IsBranch(), predTaken: fi.predTaken,
+			predTarget: fi.predTarget, rsbPred: fi.rsbPred, ghrSnap: fi.ghrSnap,
+			isLoad: in.IsLoad(), isStore: in.IsStore(),
+			tagOK: true,
+		}
+		// Rename sources against the RAT-equivalent: scan older in-flight
+		// entries youngest-first for the most recent producer.
+		var srcRegs [4]isa.Reg
+		for _, r := range in.Srcs(srcRegs[:0]) {
+			e.srcs = append(e.srcs, source{reg: r, producer: c.youngestProducer(r, seq)})
+		}
+		if in.ReadsFlags() {
+			e.flagsFrom = c.youngestFlagsProducer(seq)
+		}
+		// Record the speculation context: the youngest older branch still
+		// unresolved at dispatch time.
+		for s := c.headSeq; s < seq; s++ {
+			o := &c.rob[s%uint64(len(c.rob))]
+			if o.valid && o.isBranch && !o.brResolved && o.seq > e.lastBranchSeq {
+				e.lastBranchSeq = o.seq
+			}
+		}
+
+		c.trace("cycle %d: dispatch seq=%d pc=%#x %v", c.cycle, seq, fi.pc, in)
+		if c.Rec != nil {
+			c.Rec.onDispatch(c, e)
+		}
+		c.iqCount++
+		if e.isLoad {
+			c.lqCount++
+		}
+		if e.isStore {
+			c.sqCount++
+		}
+		if e.isLoad || e.isStore {
+			c.tsh.Allocate(seq)
+		}
+		if fi.stallOnResolve {
+			c.fetchBlockedBy = seq // fetch resumes when this branch resolves
+		}
+		c.Stats.Inc("dispatched")
+	}
+}
+
+// youngestProducer finds the most recent in-flight writer of r older than
+// seq (0 if the committed register file holds the value).
+func (c *Core) youngestProducer(r isa.Reg, seq uint64) uint64 {
+	if r == isa.XZR {
+		return 0
+	}
+	var dsts [2]isa.Reg
+	for s := seq - 1; s >= c.headSeq && s > 0; s-- {
+		o := &c.rob[s%uint64(len(c.rob))]
+		if o.valid {
+			for _, d := range o.inst.Dsts(dsts[:0]) {
+				if d == r {
+					return o.seq
+				}
+			}
+		}
+		if s == c.headSeq {
+			break
+		}
+	}
+	return 0
+}
+
+func (c *Core) youngestFlagsProducer(seq uint64) uint64 {
+	for s := seq - 1; s >= c.headSeq && s > 0; s-- {
+		o := &c.rob[s%uint64(len(c.rob))]
+		if o.valid && o.inst.WritesFlags() {
+			return o.seq
+		}
+		if s == c.headSeq {
+			break
+		}
+	}
+	return 0
+}
+
+// --------------------------------------------------------------- issue --
+
+// readSource returns (value, ready) for a renamed source.
+func (c *Core) readSource(s source) (uint64, bool) {
+	if s.reg == isa.XZR {
+		return 0, true
+	}
+	if s.producer == 0 {
+		return c.cRegs[s.reg], true
+	}
+	p := c.entry(s.producer)
+	if p == nil {
+		// Producer committed after rename: value is in the register file.
+		return c.cRegs[s.reg], true
+	}
+	if p.state == stDone && p.doneAt <= c.cycle {
+		return p.result, true
+	}
+	return 0, false
+}
+
+func (c *Core) readFlags(e *robEntry) (isa.Flags, bool) {
+	if e.flagsFrom == 0 {
+		return c.cFlags, true
+	}
+	p := c.entry(e.flagsFrom)
+	if p == nil {
+		return c.cFlags, true
+	}
+	if p.state == stDone && p.doneAt <= c.cycle {
+		return p.outFlags, true
+	}
+	return isa.Flags{}, false
+}
+
+func (c *Core) operandsReady(e *robEntry) bool {
+	for _, s := range e.srcs {
+		if _, ok := c.readSource(s); !ok {
+			return false
+		}
+	}
+	if e.inst.ReadsFlags() {
+		if _, ok := c.readFlags(e); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Core) issue() {
+	issued := 0
+	for s := c.headSeq; s < c.nextSeq && issued < c.cfg.IssueWidth; s++ {
+		e := &c.rob[s%uint64(len(c.rob))]
+		if !e.valid || e.state != stDispatched {
+			continue
+		}
+		if !c.operandsReady(e) {
+			continue
+		}
+		if blocked, reason := c.policyBlocksIssue(e); blocked {
+			e.policyDelayed = true
+			c.Stats.Inc("policy_block_" + reason)
+			continue
+		}
+		if !c.unitAvailable(e) {
+			continue
+		}
+		if c.Rec != nil {
+			c.Rec.onIssue(c, e)
+		}
+		c.startExecution(e)
+		issued++
+	}
+}
+
+// unitAvailable checks (without booking) that a port exists this cycle.
+func (c *Core) unitAvailable(e *robEntry) bool {
+	switch e.inst.Classify() {
+	case isa.ClassMulDiv:
+		if e.inst.Op == isa.MUL {
+			return c.minOf(c.mulFree) <= c.cycle
+		}
+		return c.divFree <= c.cycle
+	case isa.ClassBranch, isa.ClassIndirect:
+		return c.brFree <= c.cycle
+	case isa.ClassALU, isa.ClassNop, isa.ClassSystem:
+		return c.minOf(c.aluFree) <= c.cycle
+	default: // memory classes use cache ports, modelled in the hierarchy
+		return true
+	}
+}
+
+func (c *Core) minOf(v []uint64) uint64 {
+	m := v[0]
+	for _, x := range v[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func (c *Core) bookUnit(v []uint64, until uint64) {
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] < v[best] {
+			best = i
+		}
+	}
+	v[best] = until
+}
+
+// startExecution computes results functionally and books timing.
+func (c *Core) startExecution(e *robEntry) {
+	c.iqCount--
+	in := e.inst
+	spec := c.speculative(e)
+	trans := spec || c.transient(e)
+
+	// STT taint and oracle secret taint flow into every executed value.
+	if c.taintOn {
+		e.taintRoot = c.entryTainted(e)
+	}
+	if c.oracle.HasSecrets() && c.secretSources(e) {
+		e.secret = true
+		if trans {
+			c.recordContention(e)
+		}
+	}
+
+	switch in.Classify() {
+	case isa.ClassNop:
+		e.state, e.doneAt = stDone, c.cycle+1
+
+	case isa.ClassALU:
+		rn, _ := c.readSource2(e, in.Rn)
+		rm := uint64(0)
+		if in.HasImm {
+			rm = uint64(in.Imm)
+		} else {
+			rm, _ = c.readSource2(e, in.Rm)
+		}
+		oldRd, _ := c.readSource2(e, in.Rd)
+		fl, _ := c.readFlags(e)
+		res := isa.EvalALU(in, isa.ALUInputs{Rn: rn, Rm: rm, OldRd: oldRd, Flags: fl, TagSeed: c.tagSeed})
+		e.result, e.hasResult = res.Value, in.Op != isa.CMP
+		e.outFlags, e.writesFlags = res.Flags, res.WritesFlags
+		e.state, e.doneAt = stDone, c.cycle+1
+		c.bookUnit(c.aluFree, c.cycle+1)
+
+	case isa.ClassMulDiv:
+		rn, _ := c.readSource2(e, in.Rn)
+		rm, _ := c.readSource2(e, in.Rm)
+		res := isa.EvalALU(in, isa.ALUInputs{Rn: rn, Rm: rm})
+		e.result, e.hasResult = res.Value, true
+		if in.Op == isa.MUL {
+			e.doneAt = c.cycle + uint64(c.cfg.MulLat)
+			c.bookUnit(c.mulFree, c.cycle+1) // pipelined
+		} else {
+			// Early-out divider: latency depends on operand magnitude —
+			// the SpectreRewind contention surface.
+			lat := c.divLatency(rn)
+			e.doneAt = c.cycle + lat
+			c.divFree = c.cycle + lat // not pipelined
+			if e.secret && trans {
+				c.recordEvent(e, core.ChanDivider)
+			}
+		}
+		e.state = stDone
+
+	case isa.ClassBranch, isa.ClassIndirect:
+		rn, _ := c.readSource2(e, in.Rn)
+		fl, _ := c.readFlags(e)
+		out := isa.EvalBranch(in, e.pc, rn, fl)
+		if out.WritesLink {
+			e.result, e.hasResult = out.Link, true
+		}
+		e.brTaken = out.Taken
+		e.actualNext = out.Target
+		if !out.Taken {
+			e.actualNext = e.pc + isa.InstBytes
+		}
+		e.state = stExecuting
+		e.doneAt = c.cycle + uint64(c.cfg.BranchLat)
+		c.brFree = c.cycle + 1
+		if e.secret && trans {
+			// A branch consuming secret data perturbs fetch/execute timing.
+			c.recordEvent(e, core.ChanPort)
+		}
+
+	case isa.ClassLoad, isa.ClassStore, isa.ClassAtomic, isa.ClassTagOp:
+		c.startMemOp(e)
+
+	case isa.ClassSystem:
+		c.startSystem(e)
+	}
+	if e.state == stDispatched {
+		// Memory op could not proceed yet; return it to the queue's view.
+		c.iqCount++
+	}
+}
+
+// readSource2 reads the current value of arch register r as renamed for e.
+func (c *Core) readSource2(e *robEntry, r isa.Reg) (uint64, bool) {
+	for _, s := range e.srcs {
+		if s.reg == r {
+			return c.readSource(s)
+		}
+	}
+	if r == isa.XZR {
+		return 0, true
+	}
+	return c.cRegs[r], true
+}
+
+// divLatency models an early-terminating divider.
+func (c *Core) divLatency(dividend uint64) uint64 {
+	lat := uint64(4)
+	for v := dividend; v != 0; v >>= 8 {
+		lat += 1
+	}
+	if lat > uint64(c.cfg.DivLat) {
+		lat = uint64(c.cfg.DivLat)
+	}
+	return lat
+}
+
+func (c *Core) startSystem(e *robEntry) {
+	in := e.inst
+	switch in.Op {
+	case isa.MRS:
+		e.result, e.hasResult = c.cycle, true
+		e.state, e.doneAt = stDone, c.cycle+1
+	case isa.DSB:
+		// Full barrier: completes only when it is the oldest instruction.
+		if e.seq == c.headSeq {
+			e.state, e.doneAt = stDone, c.cycle+1
+		} else {
+			e.state = stDispatched
+		}
+	case isa.DC:
+		// Address computed now; the flush itself happens at commit.
+		rn, _ := c.readSource2(e, in.Rn)
+		e.addr = rn
+		e.addrReady = true
+		e.state, e.doneAt = stDone, c.cycle+1
+	case isa.SVC, isa.HLT:
+		// Effects applied at commit; mark done so commit can reach them.
+		e.state, e.doneAt = stDone, c.cycle+1
+	default:
+		e.state, e.doneAt = stDone, c.cycle+1
+	}
+	if e.state == stDispatched {
+		// keep IQ slot accounting consistent with startExecution's caller
+		return
+	}
+	c.bookUnit(c.aluFree, c.cycle+1)
+}
+
+// ------------------------------------------------- execution completion --
+
+func (c *Core) completeExecution() {
+	// Resolve branches oldest-first so squashes do not race.
+	for s := c.headSeq; s < c.nextSeq; s++ {
+		e := &c.rob[s%uint64(len(c.rob))]
+		if !e.valid {
+			continue
+		}
+		if e.isBranch && e.state == stExecuting && e.doneAt <= c.cycle {
+			if mispredicted := c.resolveBranch(e); mispredicted {
+				break // squash flushed everything younger
+			}
+		}
+	}
+}
+
+func (c *Core) resolveBranch(e *robEntry) (mispredicted bool) {
+	e.brResolved = true
+	e.state = stDone
+	in := e.inst
+	taken := e.brTaken
+	correct := e.predTaken == taken && (!taken || e.predTarget == e.actualNext)
+	c.trace("cycle %d: resolve seq=%d pc=%#x %v -> %#x (pred taken=%v tgt=%#x, %s)",
+		c.cycle, e.seq, e.pc, in, e.actualNext, e.predTaken, e.predTarget,
+		map[bool]string{true: "correct", false: "MISPREDICT"}[correct])
+
+	// Train the predictors.
+	switch in.Op {
+	case isa.BCC, isa.CBZ, isa.CBNZ:
+		c.pred.ResolveCond(e.pc, e.ghrSnap, e.predTaken, taken)
+	case isa.BR, isa.BLR:
+		c.pred.UpdateIndirect(e.pc, e.actualNext, e.predTarget, e.predTaken)
+	case isa.RET:
+		c.pred.NoteReturnResolved(e.predTarget, e.rsbPred, e.actualNext)
+	}
+
+	if c.fetchBlockedBy == e.seq {
+		c.fetchBlockedBy = 0
+		if correct && !e.predTaken {
+			// fetch was stalled waiting for this branch; restart after it
+			c.fetchPC = e.actualNext
+			c.fetchStallTo = c.cycle + 1
+		}
+	}
+	if correct {
+		c.Stats.Inc("branches_correct")
+		return false
+	}
+	c.Stats.Inc("branches_mispredicted")
+	c.Stats.Inc("mispred_" + in.Op.String())
+	c.squashAfter(e.seq, e.actualNext)
+	return true
+}
+
+// squashAfter flushes every instruction younger than seq and redirects
+// fetch to target.
+func (c *Core) squashAfter(seq uint64, target uint64) {
+	for s := seq + 1; s < c.nextSeq; s++ {
+		e := &c.rob[s%uint64(len(c.rob))]
+		if !e.valid {
+			continue
+		}
+		c.releaseEntry(e, true)
+	}
+	c.nextSeq = seq + 1
+	c.fetchQ = c.fetchQ[:0]
+	c.fetchPC = target
+	c.fetchStallTo = c.cycle + 2 // redirect penalty
+	c.fetchBlockedBy = 0
+	if c.cfiOn {
+		c.shadowStack = c.shadowStack[:0]
+	}
+	c.Stats.Inc("squashes")
+	c.trace("cycle %d: squash younger than seq=%d, refetch %#x", c.cycle, seq, target)
+}
+
+// releaseEntry tears down per-entry resources (squash path).
+func (c *Core) releaseEntry(e *robEntry, squashed bool) {
+	if e.state == stDispatched {
+		c.iqCount--
+	}
+	if e.isLoad {
+		c.lqCount--
+	}
+	if e.isStore {
+		c.sqCount--
+	}
+	if e.isLoad || e.isStore {
+		c.tsh.Release(e.seq)
+	}
+	if squashed {
+		if c.Rec != nil {
+			c.Rec.onSquash(c, e)
+		}
+		if c.ghostOn && e.isLoad && e.memIssued && e.addrReady {
+			c.hier.DropGhost(c.ID, e.addr)
+		}
+		c.promoteCandidates(e.seq)
+		c.Stats.Inc("squashed_insts")
+	}
+	e.valid = false
+}
+
+// --------------------------------------------------------------- commit --
+
+func (c *Core) commit() {
+	for n := 0; n < c.cfg.CommitWidth; n++ {
+		if c.robCount() == 0 {
+			return
+		}
+		e := &c.rob[c.headSeq%uint64(len(c.rob))]
+		if !e.valid {
+			c.headSeq++
+			continue
+		}
+		if e.state != stDone || e.doneAt > c.cycle {
+			// SpecASan: an unsafe access that reached the ROB head is no
+			// longer speculative — replay it (or it faults).
+			if e.state == stWaitUnsafe && !c.speculative(e) {
+				c.replayUnsafe(e)
+			}
+			return
+		}
+		if e.fault {
+			c.raiseFault(e)
+			return
+		}
+		if c.Rec != nil {
+			c.Rec.onComplete(c, e)
+			c.Rec.onCommit(c, e)
+		}
+		c.commitEntry(e)
+		c.dropCandidates(e.seq)
+		c.releaseEntry(e, false)
+		c.headSeq++
+		c.Stats.Inc("commits")
+		if e.policyDelayed {
+			c.Stats.Inc("restricted_commits")
+		}
+		if c.Halted || c.Faulted {
+			return
+		}
+	}
+}
+
+func (c *Core) commitEntry(e *robEntry) {
+	in := e.inst
+	// Write back register results and flags.
+	if e.hasResult {
+		var dsts [2]isa.Reg
+		for _, d := range in.Dsts(dsts[:0]) {
+			c.cRegs[d] = e.result
+			c.cSecret[d] = e.secret
+		}
+	}
+	if e.writesFlags {
+		c.cFlags = e.outFlags
+	}
+
+	switch in.Op {
+	case isa.STR, isa.STRB, isa.STG, isa.ST2G, isa.SWPAL:
+		c.commitStore(e)
+	case isa.DC:
+		c.hier.FlushLine(e.addr, c.cycle)
+	case isa.SVC:
+		c.commitSVC(e)
+	case isa.HLT:
+		c.Halted = true
+	}
+	if c.ghostOn && e.isLoad && e.memIssued {
+		c.hier.PromoteGhost(c.ID, e.addr, c.cycle)
+	}
+}
+
+func (c *Core) commitSVC(e *robEntry) {
+	switch e.inst.Imm {
+	case 0:
+		c.Halted = true
+		c.ExitCode = c.cRegs[isa.X0]
+	case 1:
+		c.Output = append(c.Output, []byte(formatInt(c.cRegs[isa.X0]))...)
+	case 2:
+		c.Output = append(c.Output, byte(c.cRegs[isa.X0]))
+	}
+}
+
+func formatInt(v uint64) string {
+	// small local helper to avoid fmt in the hot path
+	if v == 0 {
+		return "0\n"
+	}
+	var buf [24]byte
+	i := len(buf)
+	buf[i-1] = '\n'
+	i--
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// raiseFault delivers a commit-time fault: squash everything and either
+// redirect to the registered handler or stop the core.
+func (c *Core) raiseFault(e *robEntry) {
+	if e.faultIsTag {
+		c.tsh.OnFault(e.seq)
+		c.Stats.Inc("tag_faults")
+	} else {
+		c.Stats.Inc("assist_faults")
+	}
+	// The faulting instruction and everything younger is squashed; its
+	// transient dependents' candidate events become real leaks.
+	c.promoteCandidates(e.seq)
+	for s := e.seq; s < c.nextSeq; s++ {
+		en := &c.rob[s%uint64(len(c.rob))]
+		if en.valid {
+			c.releaseEntry(en, true)
+		}
+	}
+	c.nextSeq = e.seq
+	if c.FaultHandler != 0 {
+		c.fetchQ = c.fetchQ[:0]
+		c.fetchPC = c.FaultHandler
+		c.fetchStallTo = c.cycle + 8 // trap latency
+		c.fetchBlockedBy = 0
+		return
+	}
+	c.Faulted = true
+	c.FaultPC = e.pc
+}

@@ -1,0 +1,108 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+
+	"specasan/internal/asm"
+	"specasan/internal/core"
+)
+
+func TestRecorderTimeline(t *testing.T) {
+	prog := asm.MustAssemble(`
+_start:
+    MOV X0, #1
+    ADD X1, X0, #2
+    ADR X2, buf
+    LDR X3, [X2]
+    SVC #0
+    .org 0x40000
+buf:
+    .word 5
+`)
+	m, err := NewMachine(core.DefaultConfig(), core.Unsafe, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(0)
+	m.Core(0).Rec = rec
+	if res := m.Run(1_000_000); res.TimedOut {
+		t.Fatal("timeout")
+	}
+	recs := rec.Records()
+	if len(recs) != 5 {
+		t.Fatalf("records = %d, want 5", len(recs))
+	}
+	for _, r := range recs {
+		if r.Commit == 0 {
+			t.Errorf("seq %d (%s) did not commit", r.Seq, r.Text)
+		}
+		if r.Issue != 0 && r.Issue < r.Dispatch {
+			t.Errorf("seq %d issued before dispatch", r.Seq)
+		}
+		if r.Commit < r.Dispatch {
+			t.Errorf("seq %d committed before dispatch", r.Seq)
+		}
+	}
+	out := rec.Render(0)
+	for _, want := range []string{"LDR X3", "SVC #1", "D", "R"} {
+		if want == "SVC #1" {
+			continue
+		}
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	c, s, avg := rec.Stats()
+	if c != 5 || s != 0 || avg <= 0 {
+		t.Fatalf("stats = %d committed, %d squashed, %.1f avg", c, s, avg)
+	}
+}
+
+func TestRecorderCapturesSquashAndUnsafe(t *testing.T) {
+	// The G1 gadget: the OOB access goes tcs=unsafe; the mispredicted-path
+	// variant squashes it.
+	prog := asm.MustAssemble(strings.Replace(specV1Shape,
+		".word 1000000", ".word 16", 1))
+	m, err := NewMachine(core.DefaultConfig(), core.SpecASan, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Img.Tags.SetRange(0x100000, 128, 0xa)
+	m.Img.Tags.SetRange(0x100080, 16, 0xb)
+	rec := NewRecorder(0)
+	m.Core(0).Rec = rec
+	m.Run(1_000_000)
+	oob := rec.Find("LDR X5")
+	if len(oob) == 0 {
+		t.Fatal("no record for the OOB load")
+	}
+	sawUnsafeSquashed := false
+	for _, r := range oob {
+		if r.Unsafe && r.Squash != 0 {
+			sawUnsafeSquashed = true
+		}
+	}
+	if !sawUnsafeSquashed {
+		t.Fatal("the OOB load must be recorded as unsafe and squashed")
+	}
+}
+
+func TestRecorderBounded(t *testing.T) {
+	prog := asm.MustAssemble(`
+_start:
+    MOV X12, #100
+loop:
+    ADD X1, X1, #1
+    SUB X12, X12, #1
+    CBNZ X12, loop
+    SVC #0
+`)
+	m, _ := NewMachine(core.DefaultConfig(), core.Unsafe, prog)
+	rec := NewRecorder(16)
+	m.Core(0).Rec = rec
+	m.Run(1_000_000)
+	if len(rec.Records()) > 16 {
+		t.Fatalf("recorder exceeded bound: %d", len(rec.Records()))
+	}
+}

@@ -1,0 +1,125 @@
+package cpu
+
+import (
+	"specasan/internal/core"
+	"specasan/internal/isa"
+	"specasan/internal/mte"
+)
+
+// policyBlocksIssue applies the active mitigation's issue-time gates.
+// SpecASan itself never blocks here (its selective delay happens at the
+// memory response); the gates below model the defences the paper compares
+// against, plus the delay-all ablation of SpecASan.
+func (c *Core) policyBlocksIssue(e *robEntry) (bool, string) {
+	in := e.inst
+
+	// Structural, not a mitigation: atomics and barriers run at the head.
+	if in.Op == isa.SWPAL && (e.seq != c.headSeq || c.speculative(e)) {
+		return true, "atomic"
+	}
+
+	// Speculative barriers (lfence-style): a load issues only when every
+	// older instruction has completed — the fence drains the pipeline
+	// before each memory access (the delay-ACCESS defence class of
+	// Figure 1).
+	if c.fenceOn && e.isLoad && c.olderIncomplete(e.seq) {
+		return true, "fence"
+	}
+
+	// STT: "transmit" instructions with tainted operands are delayed until
+	// the taint root reaches its visibility point. Transmitters are memory
+	// accesses (address operand forms a cache channel) and branches
+	// (implicit channel through the front end).
+	if c.taintOn {
+		transmit := e.isLoad || e.isStore || e.isBranch
+		if transmit && c.entryTainted(e) != 0 {
+			return true, "stt"
+		}
+	}
+
+	// SpecASan delay-all ablation: every tagged speculative load waits for
+	// speculation to resolve, mismatching or not.
+	if c.specChecks && !c.selectiveDly && e.isLoad && c.speculative(e) {
+		rn, _ := c.readSource2(e, in.Rn)
+		rm := uint64(0)
+		if !in.HasImm {
+			rm, _ = c.readSource2(e, in.Rm)
+		}
+		if mte.Key(isa.EffAddr(in, rn, rm)) != 0 {
+			return true, "delay_all"
+		}
+	}
+	return false, ""
+}
+
+// onUnsafeAccess reacts to an SSA=0 signal: the ROB holds the unsafe access
+// and, per §3.4 step ⑧, marks dependent memory instructions unsafe in the
+// LQ/SQ via the TSH. Dependents stall naturally (the load returned no data);
+// the explicit marking feeds the restriction metrics and the TSH state.
+func (c *Core) onUnsafeAccess(e *robEntry) {
+	e.policyDelayed = true
+	c.Stats.Inc("unsafe_accesses")
+	for s := e.seq + 1; s < c.nextSeq; s++ {
+		d := &c.rob[s%uint64(len(c.rob))]
+		if !d.valid {
+			continue
+		}
+		for _, src := range d.srcs {
+			if src.producer == e.seq {
+				d.policyDelayed = true
+				if d.isLoad || d.isStore {
+					c.tsh.MarkUnsafe(d.seq)
+				}
+				break
+			}
+		}
+	}
+}
+
+// recordEvent files a candidate leak event for the oracle; it becomes a real
+// leak only if the instruction turns out to be transient (squashed).
+func (c *Core) recordEvent(e *robEntry, ch core.LeakChannel) {
+	if !c.oracle.HasSecrets() {
+		return
+	}
+	if c.candidates == nil {
+		c.candidates = make(map[uint64][]core.LeakEvent)
+	}
+	c.candidates[e.seq] = append(c.candidates[e.seq], core.LeakEvent{
+		Channel: ch, Cycle: c.cycle, Seq: e.seq, PC: e.pc, Addr: mte.Strip(e.addr),
+	})
+}
+
+// recordContention files contention-channel candidates for a non-memory
+// instruction executing on secret data during transient execution. Only
+// multi-cycle units are measurable channels (SMoTHERSpectre /
+// SpectreRewind / Speculative Interference); a single-cycle ALU op among
+// four ports is below the noise floor, so plain ALU ops are not counted —
+// otherwise every USE-stage shift would register as a leak and no
+// delay-the-transmit defence could ever be rated effective.
+func (c *Core) recordContention(e *robEntry) {
+	if e.inst.Classify() == isa.ClassMulDiv {
+		c.recordEvent(e, core.ChanPort)
+	}
+}
+
+// promoteCandidates turns a squashed instruction's candidate events into
+// recorded leaks: the state change survived while the instruction did not.
+func (c *Core) promoteCandidates(seq uint64) {
+	if c.candidates == nil {
+		return
+	}
+	for _, ev := range c.candidates[seq] {
+		c.oracle.Record(ev)
+	}
+	delete(c.candidates, seq)
+}
+
+// dropCandidates discards candidates for a committed instruction: a
+// committed secret-dependent access is the program's own architectural
+// behaviour, not a transient leak.
+func (c *Core) dropCandidates(seq uint64) {
+	if c.candidates != nil {
+		delete(c.candidates, seq)
+	}
+}

@@ -1,0 +1,380 @@
+package golden
+
+import (
+	"testing"
+
+	"specasan/internal/asm"
+	"specasan/internal/isa"
+	"specasan/internal/mte"
+)
+
+func run(t *testing.T, src string) *Result {
+	t.Helper()
+	ip := New(asm.MustAssemble(src))
+	res := ip.Run(100000)
+	if res.Reason != StopExit {
+		t.Fatalf("stop reason = %v (pc=%#x)", res.Reason, res.PC)
+	}
+	return res
+}
+
+func TestArithmetic(t *testing.T) {
+	res := run(t, `
+    MOV  X0, #7
+    MOV  X1, #3
+    ADD  X2, X0, X1
+    SUB  X3, X0, X1
+    MUL  X4, X0, X1
+    UDIV X5, X0, X1
+    AND  X6, X0, X1
+    ORR  X7, X0, X1
+    EOR  X8, X0, X1
+    LSL  X9, X0, #4
+    LSR  X10, X9, #2
+    SVC #0
+`)
+	want := map[isa.Reg]uint64{
+		isa.X2: 10, isa.X3: 4, isa.X4: 21, isa.X5: 2,
+		isa.X6: 3, isa.X7: 7, isa.X8: 4, isa.X9: 112, isa.X10: 28,
+	}
+	for r, v := range want {
+		if res.Regs[r] != v {
+			t.Errorf("%v = %d, want %d", r, res.Regs[r], v)
+		}
+	}
+}
+
+func TestLoopAndFlags(t *testing.T) {
+	res := run(t, `
+    MOV X0, #0
+    MOV X1, #0
+loop:
+    ADD X1, X1, X0
+    ADD X0, X0, #1
+    CMP X0, #10
+    B.LT loop
+    SVC #0
+`)
+	if res.Regs[isa.X1] != 45 {
+		t.Fatalf("sum = %d, want 45", res.Regs[isa.X1])
+	}
+}
+
+func TestSignedComparisons(t *testing.T) {
+	res := run(t, `
+    MOV X0, #-5
+    CMP X0, #3
+    CSEL X1, X2, X3, LT   // signed: -5 < 3 -> X2
+    MOV X2, #0
+    CMP X0, #3
+    CSEL X4, X5, X6, LO   // unsigned: huge > 3 -> X6
+    SVC #0
+`)
+	_ = res // CSEL picks among zero registers; real check below
+	ip := New(asm.MustAssemble(`
+    MOV X2, #111
+    MOV X3, #222
+    MOV X0, #-5
+    CMP X0, #3
+    CSEL X1, X2, X3, LT
+    CSEL X4, X2, X3, LO
+    SVC #0
+`))
+	r := ip.Run(1000)
+	if r.Regs[isa.X1] != 111 {
+		t.Errorf("signed LT pick = %d", r.Regs[isa.X1])
+	}
+	if r.Regs[isa.X4] != 222 {
+		t.Errorf("unsigned LO pick = %d", r.Regs[isa.X4])
+	}
+}
+
+func TestMemoryAndData(t *testing.T) {
+	res := run(t, `
+_start:
+    ADR X0, nums
+    LDR X1, [X0]
+    LDR X2, [X0, #8]
+    ADD X3, X1, X2
+    STR X3, [X0, #16]
+    LDR X4, [X0, #16]
+    LDRB X5, [X0]
+    SVC #0
+    .org 0x4000
+nums:
+    .word 300, 14, 0
+`)
+	if res.Regs[isa.X4] != 314 {
+		t.Fatalf("stored sum = %d", res.Regs[isa.X4])
+	}
+	if res.Regs[isa.X5] != 300&0xff {
+		t.Fatalf("byte load = %d", res.Regs[isa.X5])
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	res := run(t, `
+_start:
+    MOV X0, #5
+    BL  double
+    BL  double
+    SVC #0
+double:
+    BTI
+    ADD X0, X0, X0
+    RET
+`)
+	if res.Regs[isa.X0] != 20 {
+		t.Fatalf("X0 = %d, want 20", res.Regs[isa.X0])
+	}
+}
+
+func TestIndirectBranch(t *testing.T) {
+	res := run(t, `
+_start:
+    ADR X9, target
+    BR  X9
+    MOV X0, #1     // skipped
+    SVC #0
+target:
+    BTI
+    MOV X0, #42
+    SVC #0
+`)
+	if res.Regs[isa.X0] != 42 {
+		t.Fatalf("X0 = %d", res.Regs[isa.X0])
+	}
+}
+
+func TestMTETagging(t *testing.T) {
+	ip := New(asm.MustAssemble(`
+_start:
+    ADR  X0, buf
+    IRG  X1, X0        // tagged pointer
+    STG  X1, [X1]      // tag granule 0
+    MOV  X2, #99
+    STR  X2, [X1]      // tagged store, must pass
+    LDR  X3, [X1]      // tagged load, must pass
+    SVC  #0
+    .org 0x4000
+buf:
+    .space 32
+`))
+	ip.MTEOn = true
+	res := ip.Run(1000)
+	if res.Reason != StopExit {
+		t.Fatalf("reason = %v", res.Reason)
+	}
+	if res.Regs[isa.X3] != 99 {
+		t.Fatalf("X3 = %d", res.Regs[isa.X3])
+	}
+	// The pointer must carry a non-zero key.
+	if mte.Key(res.Regs[isa.X1]) == 0 {
+		t.Fatal("IRG produced key 0")
+	}
+}
+
+func TestMTEFaultOnMismatch(t *testing.T) {
+	ip := New(asm.MustAssemble(`
+_start:
+    ADR  X0, buf
+    IRG  X1, X0
+    STG  X1, [X1]
+    ADDG X2, X1, #0, #1  // bump the key: now mismatched
+    LDR  X3, [X2]        // must fault
+    SVC  #0
+    .org 0x4000
+buf:
+    .space 32
+`))
+	ip.MTEOn = true
+	res := ip.Run(1000)
+	if res.Reason != StopTagFault {
+		t.Fatalf("reason = %v, want tag fault", res.Reason)
+	}
+}
+
+func TestMTEOffNoFault(t *testing.T) {
+	ip := New(asm.MustAssemble(`
+_start:
+    ADR  X0, buf
+    IRG  X1, X0
+    STG  X1, [X1]
+    ADDG X2, X1, #0, #1
+    LDR  X3, [X2]
+    SVC  #0
+    .org 0x4000
+buf:
+    .space 32
+`))
+	res := ip.Run(1000)
+	if res.Reason != StopExit {
+		t.Fatalf("reason = %v, want exit (MTE off)", res.Reason)
+	}
+}
+
+func TestLDGReadsLock(t *testing.T) {
+	ip := New(asm.MustAssemble(`
+_start:
+    ADR  X0, buf
+    IRG  X1, X0
+    STG  X1, [X1]
+    MOV  X2, X0        // untagged alias
+    LDG  X2, [X2]      // recover the lock into the key byte
+    LDR  X3, [X2]      // now matches
+    SVC  #0
+    .org 0x4000
+buf:
+    .space 16
+`))
+	ip.MTEOn = true
+	res := ip.Run(1000)
+	if res.Reason != StopExit {
+		t.Fatalf("reason = %v", res.Reason)
+	}
+	if mte.Key(res.Regs[isa.X2]) != mte.Key(res.Regs[isa.X1]) {
+		t.Fatal("LDG did not recover the allocation tag")
+	}
+}
+
+func TestSWPAL(t *testing.T) {
+	res := run(t, `
+_start:
+    ADR X0, cell
+    MOV X1, #7
+    SWPAL X1, X2, [X0]   // X2 <- old (5), mem <- 7
+    LDR X3, [X0]
+    SVC #0
+    .org 0x4000
+cell:
+    .word 5
+`)
+	if res.Regs[isa.X2] != 5 || res.Regs[isa.X3] != 7 {
+		t.Fatalf("swp: old=%d new=%d", res.Regs[isa.X2], res.Regs[isa.X3])
+	}
+}
+
+func TestOutput(t *testing.T) {
+	res := run(t, `
+    MOV X0, #123
+    SVC #1
+    MOV X0, #'!'
+    SVC #2
+    SVC #0
+`)
+	if string(res.Output) != "123\n!" {
+		t.Fatalf("output = %q", res.Output)
+	}
+}
+
+func TestStopConditions(t *testing.T) {
+	ip := New(asm.MustAssemble("NOP\nNOP"))
+	res := ip.Run(1)
+	if res.Reason != StopMaxInsts {
+		t.Fatalf("reason = %v", res.Reason)
+	}
+	ip = New(asm.MustAssemble("B nowhere\nnowhere:\n .word 0"))
+	// branch to data: next fetch fails
+	res = ip.Run(10)
+	if res.Reason != StopBadPC {
+		t.Fatalf("reason = %v", res.Reason)
+	}
+}
+
+func TestMOVK(t *testing.T) {
+	res := run(t, `
+    MOV  X0, #0x1234
+    MOVK X0, #0xabcd, LSL #16
+    MOVK X0, #0x9, LSL #48
+    SVC #0
+`)
+	if res.Regs[isa.X0] != 0x0009_0000_abcd_1234 {
+		t.Fatalf("X0 = %#x", res.Regs[isa.X0])
+	}
+}
+
+func TestDivideByZeroIsZero(t *testing.T) {
+	res := run(t, `
+    MOV X0, #7
+    MOV X1, #0
+    UDIV X2, X0, X1
+    SDIV X3, X0, X1
+    SVC #0
+`)
+	if res.Regs[isa.X2] != 0 || res.Regs[isa.X3] != 0 {
+		t.Fatal("ARM division by zero yields 0")
+	}
+}
+
+func TestGMIBuildsExclusionMask(t *testing.T) {
+	ip := New(asm.MustAssemble(`
+_start:
+    ADR X0, buf
+    IRG X1, X0          // first colour
+    GMI X2, X1, XZR     // exclude it
+    IRG X3, X0, X2      // second colour must differ
+    SVC #0
+    .org 0x4000
+buf:
+    .space 16
+`))
+	res := ip.Run(1000)
+	k1, k3 := mte.Key(res.Regs[isa.X1]), mte.Key(res.Regs[isa.X3])
+	if k1 == k3 {
+		t.Fatalf("GMI exclusion failed: both colours %d", k1)
+	}
+}
+
+func TestSTRBTruncates(t *testing.T) {
+	res := run(t, `
+_start:
+    ADR X0, buf
+    MOV X1, #0x1ff
+    STRB X1, [X0]
+    LDR X2, [X0]
+    SVC #0
+    .org 0x4000
+buf:
+    .word 0
+`)
+	if res.Regs[isa.X2] != 0xff {
+		t.Fatalf("byte store truncation: %#x", res.Regs[isa.X2])
+	}
+}
+
+func TestCycleCounterMonotonic(t *testing.T) {
+	res := run(t, `
+    MRS X0, CNTVCT_EL0
+    NOP
+    NOP
+    MRS X1, CNTVCT_EL0
+    SVC #0
+`)
+	if res.Regs[isa.X1] <= res.Regs[isa.X0] {
+		t.Fatal("cycle counter must advance")
+	}
+}
+
+func TestRunWithSharedImage(t *testing.T) {
+	prog := asm.MustAssemble(`
+_start:
+    ADR X0, cell
+    LDR X1, [X0]
+    ADD X1, X1, #1
+    STR X1, [X0]
+    SVC #0
+    .org 0x4000
+cell:
+    .word 0
+`)
+	ip1 := New(prog)
+	ip1.Run(100)
+	ip2 := NewWithImage(prog, ip1.Mem)
+	res := ip2.Run(100)
+	if res.Reason != StopExit {
+		t.Fatal(res.Reason)
+	}
+	if got := ip1.Mem.ReadU64(prog.Label("cell")); got != 2 {
+		t.Fatalf("shared image cell = %d, want 2", got)
+	}
+}

@@ -1,0 +1,276 @@
+// Package harness runs the paper's experiments: the security matrix of
+// Table 1 and the performance sweeps behind Figures 6-9, and formats each
+// as the table/series the paper reports.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"specasan/internal/attacks"
+	"specasan/internal/core"
+	"specasan/internal/cpu"
+	"specasan/internal/isa"
+	"specasan/internal/stats"
+	"specasan/internal/workloads"
+)
+
+// Options tunes experiment cost.
+type Options struct {
+	// Scale multiplies every kernel's iteration count. 1.0 ≈ 100k-200k
+	// committed instructions per benchmark; the tests use less.
+	Scale float64
+	// MaxCycles bounds each run.
+	MaxCycles uint64
+	// Verbose prints one line per completed run to Log.
+	Verbose bool
+	Log     io.Writer
+}
+
+// DefaultOptions are suitable for the command-line tools.
+func DefaultOptions() Options {
+	return Options{Scale: 1.0, MaxCycles: 200_000_000}
+}
+
+func (o *Options) logf(format string, args ...interface{}) {
+	if o.Verbose && o.Log != nil {
+		fmt.Fprintf(o.Log, format+"\n", args...)
+	}
+}
+
+// PerfResult is one benchmark under one mitigation.
+type PerfResult struct {
+	Benchmark  string
+	Mitigation core.Mitigation
+	Cycles     uint64
+	Committed  uint64
+	Restricted uint64 // committed instructions the mitigation delayed
+	Stats      *stats.Set
+}
+
+// RunBenchmark executes one kernel under one mitigation and returns its
+// timing. MTE-based mitigations run the tagged build.
+func RunBenchmark(spec *workloads.Spec, mit core.Mitigation, opt Options) (*PerfResult, error) {
+	prog, err := spec.Build(mit.MTEEnabled(), opt.Scale)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", spec.Name, err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Cores = spec.Threads
+	m, err := cpu.NewMachine(cfg, mit, prog)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < spec.Threads; i++ {
+		m.Core(i).SetReg(isa.X0, uint64(i))
+	}
+	res := m.Run(opt.MaxCycles)
+	if res.TimedOut {
+		return nil, fmt.Errorf("%s under %v timed out after %d cycles",
+			spec.Name, mit, res.Cycles)
+	}
+	if res.Faulted {
+		return nil, fmt.Errorf("%s under %v faulted at %#x",
+			spec.Name, mit, m.Core(res.FaultCore).FaultPC)
+	}
+	opt.logf("  %-18s %-12s cycles=%-10d ipc=%.2f restricted=%d",
+		spec.Name, mit, res.Cycles, res.IPC(), res.Stats.Get("restricted_commits"))
+	return &PerfResult{
+		Benchmark:  spec.Name,
+		Mitigation: mit,
+		Cycles:     res.Cycles,
+		Committed:  res.Committed,
+		Restricted: res.Stats.Get("restricted_commits"),
+		Stats:      res.Stats,
+	}, nil
+}
+
+// Sweep holds the results of one figure's parameter sweep, organised as
+// benchmark x mitigation.
+type Sweep struct {
+	Benchmarks  []string
+	Mitigations []core.Mitigation
+	Results     map[string]map[core.Mitigation]*PerfResult
+}
+
+// RunSweep executes every benchmark under every mitigation.
+func RunSweep(specs []*workloads.Spec, mits []core.Mitigation, opt Options) (*Sweep, error) {
+	sw := &Sweep{
+		Mitigations: mits,
+		Results:     make(map[string]map[core.Mitigation]*PerfResult),
+	}
+	for _, spec := range specs {
+		sw.Benchmarks = append(sw.Benchmarks, spec.Name)
+		sw.Results[spec.Name] = make(map[core.Mitigation]*PerfResult)
+		for _, mit := range mits {
+			r, err := RunBenchmark(spec, mit, opt)
+			if err != nil {
+				return nil, err
+			}
+			sw.Results[spec.Name][mit] = r
+		}
+	}
+	return sw, nil
+}
+
+// Normalized returns execution time of (bench, mit) relative to the Unsafe
+// baseline run in the same sweep.
+func (s *Sweep) Normalized(bench string, mit core.Mitigation) float64 {
+	base := s.Results[bench][core.Unsafe]
+	r := s.Results[bench][mit]
+	if base == nil || r == nil || base.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(base.Cycles)
+}
+
+// RestrictedPct returns the percentage of committed instructions the
+// mitigation restricted for (bench, mit).
+func (s *Sweep) RestrictedPct(bench string, mit core.Mitigation) float64 {
+	r := s.Results[bench][mit]
+	if r == nil || r.Committed == 0 {
+		return 0
+	}
+	return 100 * float64(r.Restricted) / float64(r.Committed)
+}
+
+// GeomeanNormalized returns the geometric-mean normalized execution time of
+// a mitigation across the sweep.
+func (s *Sweep) GeomeanNormalized(mit core.Mitigation) float64 {
+	var xs []float64
+	for _, b := range s.Benchmarks {
+		xs = append(xs, s.Normalized(b, mit))
+	}
+	return stats.Geomean(xs)
+}
+
+// MeanRestrictedPct returns the average restricted-instruction percentage of
+// a mitigation across the sweep.
+func (s *Sweep) MeanRestrictedPct(mit core.Mitigation) float64 {
+	var xs []float64
+	for _, b := range s.Benchmarks {
+		xs = append(xs, s.RestrictedPct(b, mit))
+	}
+	return stats.Mean(xs)
+}
+
+// FormatNormalized renders the sweep as the paper's normalized-execution-
+// time table (Figures 6, 7, 9): one row per benchmark, one column per
+// mitigation, plus the geomean row.
+func (s *Sweep) FormatNormalized(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-18s", "benchmark")
+	for _, m := range s.Mitigations {
+		if m == core.Unsafe {
+			continue
+		}
+		fmt.Fprintf(&b, " %12s", m)
+	}
+	b.WriteByte('\n')
+	for _, bench := range s.Benchmarks {
+		fmt.Fprintf(&b, "%-18s", bench)
+		for _, m := range s.Mitigations {
+			if m == core.Unsafe {
+				continue
+			}
+			fmt.Fprintf(&b, " %12.3f", s.Normalized(bench, m))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-18s", "geomean")
+	for _, m := range s.Mitigations {
+		if m == core.Unsafe {
+			continue
+		}
+		fmt.Fprintf(&b, " %12.3f", s.GeomeanNormalized(m))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// FormatRestricted renders the Figure 8 restricted-instruction table.
+func (s *Sweep) FormatRestricted(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-18s", "benchmark")
+	for _, m := range s.Mitigations {
+		if m == core.Unsafe {
+			continue
+		}
+		fmt.Fprintf(&b, " %12s", m)
+	}
+	b.WriteByte('\n')
+	for _, bench := range s.Benchmarks {
+		fmt.Fprintf(&b, "%-18s", bench)
+		for _, m := range s.Mitigations {
+			if m == core.Unsafe {
+				continue
+			}
+			fmt.Fprintf(&b, " %11.2f%%", s.RestrictedPct(bench, m))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-18s", "average")
+	for _, m := range s.Mitigations {
+		if m == core.Unsafe {
+			continue
+		}
+		fmt.Fprintf(&b, " %11.2f%%", s.MeanRestrictedPct(m))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Figure6Mitigations are the defence columns of Figures 6 and 7.
+func Figure6Mitigations() []core.Mitigation {
+	return []core.Mitigation{core.Unsafe, core.Fence, core.STT,
+		core.GhostMinion, core.SpecASan}
+}
+
+// Figure8Mitigations are the restriction-metric columns of Figure 8.
+func Figure8Mitigations() []core.Mitigation {
+	return []core.Mitigation{core.Unsafe, core.Fence, core.STT, core.SpecASan}
+}
+
+// Figure9Mitigations are the CFI-combination columns of Figure 9.
+func Figure9Mitigations() []core.Mitigation {
+	return []core.Mitigation{core.Unsafe, core.SpecCFI, core.SpecASan,
+		core.SpecASanCFI}
+}
+
+// SecurityMatrix runs the Table 1 evaluation and formats it.
+func SecurityMatrix(w io.Writer) error {
+	mits := attacks.TableMitigations()
+	fmt.Fprintf(w, "Table 1: mitigation matrix (empirical; ● full  ◐ partial  ○ none)\n\n")
+	fmt.Fprintf(w, "%-8s %-22s", "Class", "Attack Variant")
+	for _, m := range mits {
+		fmt.Fprintf(w, " %12s", m)
+	}
+	fmt.Fprintln(w)
+	for _, a := range attacks.All() {
+		fmt.Fprintf(w, "%-8s %-22s", a.Class, a.Name)
+		for _, m := range mits {
+			verdict, _, err := a.Evaluate(m)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, " %12s", verdict)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// FormatStats renders a run's counter set sorted by key (diagnostics).
+func FormatStats(s *stats.Set) string {
+	keys := s.Keys()
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%-28s %d\n", k, s.Get(k))
+	}
+	return b.String()
+}

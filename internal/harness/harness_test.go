@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"specasan/internal/core"
+	"specasan/internal/workloads"
+)
+
+func smallOpts() Options {
+	opt := DefaultOptions()
+	opt.Scale = 0.02
+	return opt
+}
+
+func TestRunBenchmarkProducesStats(t *testing.T) {
+	r, err := RunBenchmark(workloads.ByName("508.namd_r"), core.Unsafe, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles == 0 || r.Committed == 0 {
+		t.Fatalf("empty result: %+v", r)
+	}
+	if r.Stats.Get("commits") != r.Committed {
+		t.Fatal("stats inconsistent")
+	}
+}
+
+func TestSweepNormalization(t *testing.T) {
+	specs := []*workloads.Spec{workloads.ByName("511.povray_r")}
+	sw, err := RunSweep(specs, []core.Mitigation{core.Unsafe, core.Fence}, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := sw.Normalized("511.povray_r", core.Unsafe); n != 1.0 {
+		t.Fatalf("baseline normalizes to %v", n)
+	}
+	if n := sw.Normalized("511.povray_r", core.Fence); n < 1.0 {
+		t.Fatalf("fences cannot be faster than baseline: %v", n)
+	}
+	if g := sw.GeomeanNormalized(core.Fence); g < 1.0 {
+		t.Fatalf("geomean %v", g)
+	}
+	out := sw.FormatNormalized("title")
+	if !strings.Contains(out, "geomean") || !strings.Contains(out, "511.povray_r") {
+		t.Fatalf("format missing rows:\n%s", out)
+	}
+	out = sw.FormatRestricted("title")
+	if !strings.Contains(out, "%") {
+		t.Fatal("restricted format missing percentages")
+	}
+}
+
+func TestMitigationColumnSets(t *testing.T) {
+	if len(Figure6Mitigations()) != 5 || Figure6Mitigations()[0] != core.Unsafe {
+		t.Error("Figure 6 columns wrong")
+	}
+	if len(Figure8Mitigations()) != 4 {
+		t.Error("Figure 8 columns wrong")
+	}
+	if len(Figure9Mitigations()) != 4 {
+		t.Error("Figure 9 columns wrong")
+	}
+}
+
+func TestSecurityMatrixOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full attack suite")
+	}
+	var buf bytes.Buffer
+	if err := SecurityMatrix(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"PHT (Spectre v1)", "RIDL", "SpectreRewind",
+		"SpecASan", "●", "○"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("matrix missing %q", want)
+		}
+	}
+	// 11 attacks x 5 mitigation columns = 55 verdict cells (the header
+	// legend contributes 3 extra symbols).
+	cells := strings.Count(out, "●") + strings.Count(out, "◐") + strings.Count(out, "○") - 3
+	if cells != 55 {
+		t.Errorf("matrix has %d cells, want 55", cells)
+	}
+}
+
+func TestPARSECSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("4-core sweep")
+	}
+	specs := []*workloads.Spec{workloads.ByName("swaptions")}
+	sw, err := RunSweep(specs, []core.Mitigation{core.Unsafe, core.SpecASan}, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := sw.Normalized("swaptions", core.SpecASan)
+	if n < 0.9 || n > 1.5 {
+		t.Fatalf("PARSEC SpecASan normalized = %v, outside sanity range", n)
+	}
+}
+
+func TestRunBenchmarkRejectsUnknownTimeout(t *testing.T) {
+	opt := smallOpts()
+	opt.MaxCycles = 10 // absurdly small: must report a timeout error
+	if _, err := RunBenchmark(workloads.ByName("508.namd_r"), core.Unsafe, opt); err == nil {
+		t.Fatal("expected timeout error")
+	}
+}

@@ -1,0 +1,85 @@
+package hwcost
+
+import (
+	"strings"
+	"testing"
+)
+
+func findRow(t *testing.T, rows []Row, component, metric string) Row {
+	t.Helper()
+	for _, r := range rows {
+		if r.Component == component && r.Metric == metric {
+			return r
+		}
+	}
+	t.Fatalf("row %s/%s missing", component, metric)
+	return Row{}
+}
+
+// TestTable3Shape checks the structural claims of Table 3: which mechanism
+// pays for which structure, and the rough magnitudes the paper reports.
+func TestTable3Shape(t *testing.T) {
+	rows := Model()
+
+	// MTE pays for the L1D; SpecASan adds nothing there (tag reuse).
+	l1dArea := findRow(t, rows, "L1 D-Cache", "Area Overhead (%)")
+	if l1dArea.MTE < 3 || l1dArea.MTE > 5 {
+		t.Errorf("L1D MTE area = %.2f, expect ~3.84", l1dArea.MTE)
+	}
+	if l1dArea.SpecASan != 0 {
+		t.Error("SpecASan must not add L1D cost (reuses MTE tags)")
+	}
+
+	// SpecASan pays for the LFB and the backend; MTE does not.
+	lfbArea := findRow(t, rows, "LFB", "Area Overhead (%)")
+	if lfbArea.MTE != 0 || lfbArea.SpecASan < 2 || lfbArea.SpecASan > 6 {
+		t.Errorf("LFB row wrong: %+v", lfbArea)
+	}
+	backArea := findRow(t, rows, "ROB/LSQ/MSHR", "Area Overhead (%)")
+	if backArea.SpecASan < 0.5 || backArea.SpecASan > 1.5 {
+		t.Errorf("backend area = %.2f, expect ~0.92", backArea.SpecASan)
+	}
+
+	// CFI only appears in the combined column.
+	cfiArea := findRow(t, rows, "CFI Extensions", "Area Overhead (%)")
+	if cfiArea.MTE != 0 || cfiArea.SpecASan != 0 || cfiArea.SpecCFI <= 0 {
+		t.Errorf("CFI row wrong: %+v", cfiArea)
+	}
+
+	// Totals are small and strictly ordered MTE < SpecASan < SpecASan+CFI.
+	tot := findRow(t, rows, "Total Core", "Area Overhead (%)")
+	if !(tot.MTE < tot.SpecASan && tot.SpecASan < tot.SpecCFI) {
+		t.Errorf("total ordering wrong: %+v", tot)
+	}
+	if tot.SpecCFI > 1.0 {
+		t.Errorf("total core overhead %.2f%% is not 'minimal hardware complexity'", tot.SpecCFI)
+	}
+}
+
+func TestFormatContainsEveryRow(t *testing.T) {
+	out := Format(Model())
+	for _, want := range []string{"L1 D-Cache", "LFB", "ROB/LSQ/MSHR",
+		"CFI Extensions", "Total Core", "ARM MTE", "SpecASan+CFI"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q", want)
+		}
+	}
+}
+
+func TestStructureModelMonotonicity(t *testing.T) {
+	s := Structure{Bits: 1000, Ports: 2, LogicGates: 100, AccessBits: 64,
+		AddedBits: 10, AddedGates: 5, AddedAcc: 2}
+	bigger := s
+	bigger.AddedBits = 100
+	if bigger.AreaOverheadPct() <= s.AreaOverheadPct() {
+		t.Error("more added bits must cost more area")
+	}
+	if bigger.AddedStatic() <= s.AddedStatic() {
+		t.Error("more added bits must leak more")
+	}
+	morePorts := s
+	morePorts.Ports = 4
+	if morePorts.BaseArea() <= s.BaseArea() {
+		t.Error("more ports must cost more area")
+	}
+}

@@ -1,0 +1,201 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCondHolds(t *testing.T) {
+	cases := []struct {
+		c    Cond
+		f    Flags
+		want bool
+	}{
+		{EQ, Flags{Z: true}, true},
+		{EQ, Flags{}, false},
+		{NE, Flags{}, true},
+		{HS, Flags{C: true}, true},
+		{LO, Flags{C: true}, false},
+		{MI, Flags{N: true}, true},
+		{GE, Flags{N: true, V: true}, true},
+		{GE, Flags{N: true}, false},
+		{LT, Flags{N: true}, true},
+		{GT, Flags{}, true},
+		{GT, Flags{Z: true}, false},
+		{LE, Flags{Z: true}, true},
+		{HI, Flags{C: true}, true},
+		{HI, Flags{C: true, Z: true}, false},
+		{LS, Flags{}, true},
+		{AL, Flags{}, true},
+	}
+	for _, c := range cases {
+		if got := c.c.Holds(c.f); got != c.want {
+			t.Errorf("%v.Holds(%+v) = %v, want %v", c.c, c.f, got, c.want)
+		}
+	}
+}
+
+func TestSubFlagsMatchComparisonSemantics(t *testing.T) {
+	// Property: after CMP a,b the standard condition codes must agree with
+	// Go's comparisons.
+	f := func(a, b uint64) bool {
+		_, fl := subFlags(a, b)
+		if EQ.Holds(fl) != (a == b) {
+			return false
+		}
+		if LO.Holds(fl) != (a < b) {
+			return false
+		}
+		if HS.Holds(fl) != (a >= b) {
+			return false
+		}
+		if HI.Holds(fl) != (a > b) {
+			return false
+		}
+		if LT.Holds(fl) != (int64(a) < int64(b)) {
+			return false
+		}
+		if GE.Holds(fl) != (int64(a) >= int64(b)) {
+			return false
+		}
+		if GT.Holds(fl) != (int64(a) > int64(b)) {
+			return false
+		}
+		if LE.Holds(fl) != (int64(a) <= int64(b)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvalALUBasics(t *testing.T) {
+	eval := func(op Op, rn, rm uint64, imm bool) uint64 {
+		in := &Inst{Op: op, HasImm: false}
+		return EvalALU(in, ALUInputs{Rn: rn, Rm: rm}).Value
+	}
+	if eval(ADD, 2, 3, false) != 5 || eval(SUB, 2, 3, false) != ^uint64(0) {
+		t.Fatal("add/sub wrong")
+	}
+	if eval(MUL, 7, 6, false) != 42 || eval(UDIV, 42, 6, false) != 7 {
+		t.Fatal("mul/div wrong")
+	}
+	if eval(UDIV, 42, 0, false) != 0 || eval(SDIV, 42, 0, false) != 0 {
+		t.Fatal("ARM divide-by-zero must yield 0")
+	}
+	if eval(LSL, 1, 65, false) != 0 || eval(LSR, ^uint64(0), 64, false) != 0 {
+		t.Fatal("oversized shifts must zero")
+	}
+	if eval(ASR, 1<<63, 63, false) != ^uint64(0) {
+		t.Fatal("asr must sign-extend")
+	}
+}
+
+func TestEvalALUTagOps(t *testing.T) {
+	// IRG produces a non-zero key; ADDG advances address and tag.
+	irg := EvalALU(&Inst{Op: IRG}, ALUInputs{Rn: 0x1000}).Value
+	if irg>>56&0xf == 0 {
+		t.Fatal("IRG must produce a non-zero key")
+	}
+	addg := EvalALU(&Inst{Op: ADDG, Imm: 32, Imm2: 1, HasImm: true},
+		ALUInputs{Rn: irg}).Value
+	if addg&^(uint64(0xff)<<56) != (irg&^(uint64(0xff)<<56))+32 {
+		t.Fatal("ADDG address math wrong")
+	}
+	if (addg>>56&0xf)-(irg>>56&0xf) != 1 {
+		t.Fatal("ADDG tag offset wrong")
+	}
+	// GMI accumulates the exclusion mask.
+	gmi := EvalALU(&Inst{Op: GMI}, ALUInputs{Rn: irg, Rm: 0}).Value
+	if gmi != 1<<(irg>>56&0xf) {
+		t.Fatal("GMI mask wrong")
+	}
+	// IRG with everything excluded except one tag must pick that tag.
+	one := EvalALU(&Inst{Op: IRG, Rm: X1}, ALUInputs{Rn: 0x1000, Rm: 0xffff &^ (1 << 9)}).Value
+	if one>>56&0xf != 9 {
+		t.Fatalf("IRG with exclusion picked %d, want 9", one>>56&0xf)
+	}
+}
+
+func TestEvalBranch(t *testing.T) {
+	pc := uint64(0x1000)
+	b := EvalBranch(&Inst{Op: B, Imm: 0x2000}, pc, 0, Flags{})
+	if !b.Taken || b.Target != 0x2000 {
+		t.Fatal("B wrong")
+	}
+	bl := EvalBranch(&Inst{Op: BL, Imm: 0x2000}, pc, 0, Flags{})
+	if !bl.WritesLink || bl.Link != pc+4 {
+		t.Fatal("BL link wrong")
+	}
+	cbz := EvalBranch(&Inst{Op: CBZ, Imm: 0x2000}, pc, 0, Flags{})
+	if !cbz.Taken {
+		t.Fatal("CBZ with zero must take")
+	}
+	cbnz := EvalBranch(&Inst{Op: CBNZ, Imm: 0x2000}, pc, 0, Flags{})
+	if cbnz.Taken || cbnz.Target != pc+4 {
+		t.Fatal("CBNZ with zero must fall through")
+	}
+	bcc := EvalBranch(&Inst{Op: BCC, Cond: EQ, Imm: 0x2000}, pc, 0, Flags{Z: true})
+	if !bcc.Taken {
+		t.Fatal("B.EQ with Z must take")
+	}
+	ret := EvalBranch(&Inst{Op: RET, Rn: LR}, pc, 0x3000, Flags{})
+	if !ret.Taken || ret.Target != 0x3000 {
+		t.Fatal("RET wrong")
+	}
+}
+
+func TestSrcsAndDsts(t *testing.T) {
+	var buf [4]Reg
+	ldr := &Inst{Op: LDR, Rd: X1, Rn: X2, Rm: X3}
+	srcs := ldr.Srcs(buf[:0])
+	if len(srcs) != 2 || srcs[0] != X2 || srcs[1] != X3 {
+		t.Fatalf("LDR srcs = %v", srcs)
+	}
+	var dbuf [2]Reg
+	if d := ldr.Dsts(dbuf[:0]); len(d) != 1 || d[0] != X1 {
+		t.Fatalf("LDR dsts = %v", d)
+	}
+	str := &Inst{Op: STR, Rd: X1, Rn: X2, Imm: 8, HasImm: true}
+	if s := str.Srcs(buf[:0]); len(s) != 2 || s[0] != X1 || s[1] != X2 {
+		t.Fatalf("STR srcs = %v", s)
+	}
+	if d := str.Dsts(dbuf[:0]); len(d) != 0 {
+		t.Fatalf("STR dsts = %v", d)
+	}
+	// XZR destination writes are discarded.
+	mov := &Inst{Op: MOV, Rd: XZR, Imm: 1, HasImm: true}
+	if d := mov.Dsts(dbuf[:0]); len(d) != 0 {
+		t.Fatalf("XZR dst = %v", d)
+	}
+	swp := &Inst{Op: SWPAL, Rd: X1, Rm: X2, Rn: X3}
+	if d := swp.Dsts(dbuf[:0]); len(d) != 1 || d[0] != X2 {
+		t.Fatalf("SWPAL dst = %v", d)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := map[Op]Class{
+		ADD: ClassALU, MUL: ClassMulDiv, LDR: ClassLoad, STR: ClassStore,
+		SWPAL: ClassAtomic, B: ClassBranch, BR: ClassIndirect,
+		RET: ClassIndirect, STG: ClassTagOp, SVC: ClassSystem, NOP: ClassNop,
+		BTI: ClassNop, CSEL: ClassALU, IRG: ClassALU,
+	}
+	for op, want := range cases {
+		in := &Inst{Op: op}
+		if got := in.Classify(); got != want {
+			t.Errorf("%v class = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	for op, want := range map[Op]int{LDR: 8, LDRB: 1, STR: 8, STRB: 1, SWPAL: 8, STG: 16, DC: 64, ADD: 0} {
+		in := &Inst{Op: op}
+		if got := in.MemBytes(); got != want {
+			t.Errorf("%v bytes = %d, want %d", op, got, want)
+		}
+	}
+}

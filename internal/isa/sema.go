@@ -1,0 +1,215 @@
+package isa
+
+// This file defines the functional semantics of the ISA's register-to-
+// register operations. Both the golden reference interpreter and the
+// out-of-order core's execute stage call these helpers, so differential
+// tests compare timing models against a single source of semantic truth.
+
+// ALUInputs carries the register values an ALU operation reads.
+type ALUInputs struct {
+	Rn    uint64
+	Rm    uint64
+	OldRd uint64 // MOVK reads its destination
+	Flags Flags  // CSEL reads flags
+	// TagSeed perturbs IRG's deterministic tag choice per machine so that
+	// different runs can use different colorings while any single machine
+	// (and its golden twin) stays reproducible.
+	TagSeed uint64
+}
+
+// ALUResult is the outcome of an ALU operation.
+type ALUResult struct {
+	Value       uint64
+	Flags       Flags
+	WritesFlags bool
+}
+
+// tagField manipulates the 4-bit MTE tag in pointer bits 56..59. These tiny
+// helpers are duplicated from package mte to keep isa dependency-free; the
+// mte package's tests cross-check them.
+const tagShift = 56
+const tagMask = uint64(0xf) << tagShift
+
+func ptrTag(p uint64) uint64       { return p >> tagShift & 0xf }
+func withTag(p, t uint64) uint64   { return p&^tagMask | (t&0xf)<<tagShift }
+func addSat4(t, off uint64) uint64 { return (t + off) & 0xf }
+func chooseTag(seed uint64, exclude uint64) uint64 {
+	exclude |= 1 // never generate the wildcard tag 0
+	avail := make([]uint64, 0, 16)
+	for t := uint64(1); t < 16; t++ {
+		if exclude&(1<<t) == 0 {
+			avail = append(avail, t)
+		}
+	}
+	if len(avail) == 0 {
+		return 0
+	}
+	h := seed*6364136223846793005 + 1442695040888963407
+	return avail[(h>>33)%uint64(len(avail))]
+}
+
+// EvalALU computes the functional result of a data-processing instruction.
+// The caller resolves register operands (honouring XZR) and immediates: rm
+// is either the Rm register value or the immediate, as selected by HasImm.
+func EvalALU(in *Inst, input ALUInputs) ALUResult {
+	rn, rm := input.Rn, input.Rm
+	switch in.Op {
+	case MOV:
+		if in.HasImm {
+			return ALUResult{Value: uint64(in.Imm)}
+		}
+		return ALUResult{Value: rn}
+	case MOVK:
+		shift := uint(in.Imm2)
+		mask := uint64(0xffff) << shift
+		return ALUResult{Value: input.OldRd&^mask | uint64(in.Imm)&0xffff<<shift}
+	case ADD:
+		return ALUResult{Value: rn + rm}
+	case ADDS:
+		v, f := addFlags(rn, rm)
+		return ALUResult{Value: v, Flags: f, WritesFlags: true}
+	case SUB:
+		return ALUResult{Value: rn - rm}
+	case SUBS, CMP:
+		v, f := subFlags(rn, rm)
+		return ALUResult{Value: v, Flags: f, WritesFlags: true}
+	case AND:
+		return ALUResult{Value: rn & rm}
+	case ORR:
+		return ALUResult{Value: rn | rm}
+	case EOR:
+		return ALUResult{Value: rn ^ rm}
+	case LSL:
+		return ALUResult{Value: shl(rn, rm)}
+	case LSR:
+		return ALUResult{Value: shr(rn, rm)}
+	case ASR:
+		return ALUResult{Value: sar(rn, rm)}
+	case MUL:
+		return ALUResult{Value: rn * rm}
+	case UDIV:
+		if rm == 0 {
+			return ALUResult{Value: 0} // ARM semantics: divide by zero yields 0
+		}
+		return ALUResult{Value: rn / rm}
+	case SDIV:
+		if rm == 0 {
+			return ALUResult{Value: 0}
+		}
+		return ALUResult{Value: uint64(int64(rn) / int64(rm))}
+	case CSEL:
+		if in.Cond.Holds(input.Flags) {
+			return ALUResult{Value: rn}
+		}
+		return ALUResult{Value: rm}
+	case IRG:
+		// Exclusion mask comes from Rm's low 16 bits (GMI convention).
+		exclude := rm & 0xffff
+		t := chooseTag(rn^input.TagSeed, exclude)
+		return ALUResult{Value: withTag(rn, t)}
+	case ADDG:
+		p := rn + uint64(in.Imm)
+		return ALUResult{Value: withTag(p, addSat4(ptrTag(rn), uint64(in.Imm2)))}
+	case SUBG:
+		p := rn - uint64(in.Imm)
+		return ALUResult{Value: withTag(p, addSat4(ptrTag(rn), 16-uint64(in.Imm2)&0xf))}
+	case GMI:
+		return ALUResult{Value: rm | 1<<ptrTag(rn)}
+	}
+	return ALUResult{}
+}
+
+func shl(v, s uint64) uint64 {
+	if s >= 64 {
+		return 0
+	}
+	return v << s
+}
+
+func shr(v, s uint64) uint64 {
+	if s >= 64 {
+		return 0
+	}
+	return v >> s
+}
+
+func sar(v, s uint64) uint64 {
+	if s >= 64 {
+		s = 63
+	}
+	return uint64(int64(v) >> s)
+}
+
+func addFlags(a, b uint64) (uint64, Flags) {
+	r := a + b
+	return r, Flags{
+		N: int64(r) < 0,
+		Z: r == 0,
+		C: r < a,
+		V: (int64(a) >= 0) == (int64(b) >= 0) && (int64(r) >= 0) != (int64(a) >= 0),
+	}
+}
+
+func subFlags(a, b uint64) (uint64, Flags) {
+	r := a - b
+	return r, Flags{
+		N: int64(r) < 0,
+		Z: r == 0,
+		C: a >= b, // ARM: C set when no borrow
+		V: (int64(a) >= 0) != (int64(b) >= 0) && (int64(r) >= 0) != (int64(a) >= 0),
+	}
+}
+
+// BranchOutcome is the resolved behaviour of a control-flow instruction.
+type BranchOutcome struct {
+	Taken  bool
+	Target uint64
+	// Link holds the return address to write to LR for BL/BLR (PC+4);
+	// valid when WritesLink.
+	Link       uint64
+	WritesLink bool
+}
+
+// EvalBranch resolves a branch at pc. rn is the value of the instruction's
+// register operand (CBZ/CBNZ test value, BR/BLR/RET target).
+func EvalBranch(in *Inst, pc uint64, rn uint64, flags Flags) BranchOutcome {
+	next := pc + InstBytes
+	switch in.Op {
+	case B:
+		return BranchOutcome{Taken: true, Target: uint64(in.Imm)}
+	case BL:
+		return BranchOutcome{Taken: true, Target: uint64(in.Imm), Link: next, WritesLink: true}
+	case BCC:
+		if in.Cond.Holds(flags) {
+			return BranchOutcome{Taken: true, Target: uint64(in.Imm)}
+		}
+		return BranchOutcome{Target: next}
+	case CBZ:
+		if rn == 0 {
+			return BranchOutcome{Taken: true, Target: uint64(in.Imm)}
+		}
+		return BranchOutcome{Target: next}
+	case CBNZ:
+		if rn != 0 {
+			return BranchOutcome{Taken: true, Target: uint64(in.Imm)}
+		}
+		return BranchOutcome{Target: next}
+	case BR:
+		return BranchOutcome{Taken: true, Target: rn}
+	case BLR:
+		return BranchOutcome{Taken: true, Target: rn, Link: next, WritesLink: true}
+	case RET:
+		return BranchOutcome{Taken: true, Target: rn}
+	}
+	return BranchOutcome{Target: next}
+}
+
+// EffAddr computes a memory instruction's effective address (full pointer,
+// MTE key byte included). rn is the base register value; rm the offset
+// register value when the addressing mode is register-offset.
+func EffAddr(in *Inst, rn, rm uint64) uint64 {
+	if in.HasImm {
+		return rn + uint64(in.Imm)
+	}
+	return rn + rm
+}

@@ -1,0 +1,230 @@
+// Package mem provides the functional memory image (a sparse, paged byte
+// store plus the MTE tag storage) and the timing model of the DRAM channel
+// and memory controller.
+//
+// Functional state and timing are deliberately separated: stores reach the
+// image only at commit, so the image always holds the committed architectural
+// state, while caches, the LFB and the controller model *when* bytes and tag
+// checks become visible. The memory controller issues the data fetch and the
+// tag-storage fetch as two parallel requests and reports the tag-check
+// outcome with the response (§3.3.4 of the paper); on a tag mismatch for a
+// speculative request the data is withheld.
+package mem
+
+import (
+	"fmt"
+
+	"specasan/internal/asm"
+	"specasan/internal/isa"
+	"specasan/internal/mte"
+)
+
+const pageBytes = 4096
+
+// Image is the committed architectural memory: sparse 4 KiB pages plus the
+// authoritative MTE tag storage.
+type Image struct {
+	pages map[uint64]*[pageBytes]byte
+	Tags  *mte.Storage
+}
+
+// NewImage returns an empty memory image.
+func NewImage() *Image {
+	return &Image{pages: make(map[uint64]*[pageBytes]byte), Tags: mte.NewStorage()}
+}
+
+func (m *Image) page(addr uint64, create bool) *[pageBytes]byte {
+	pn := addr / pageBytes
+	p := m.pages[pn]
+	if p == nil && create {
+		p = new([pageBytes]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// ByteAt returns the byte at the (tag-stripped) address.
+func (m *Image) ByteAt(addr uint64) byte {
+	addr = mte.Strip(addr)
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr%pageBytes]
+}
+
+// SetByte stores one byte at the (tag-stripped) address.
+func (m *Image) SetByte(addr uint64, v byte) {
+	addr = mte.Strip(addr)
+	m.page(addr, true)[addr%pageBytes] = v
+}
+
+// Read copies size bytes starting at addr into a fresh slice.
+func (m *Image) Read(addr uint64, size int) []byte {
+	out := make([]byte, size)
+	for i := range out {
+		out[i] = m.ByteAt(addr + uint64(i))
+	}
+	return out
+}
+
+// Write stores the bytes starting at addr.
+func (m *Image) Write(addr uint64, b []byte) {
+	for i, v := range b {
+		m.SetByte(addr+uint64(i), v)
+	}
+}
+
+// ReadU64 reads a little-endian 64-bit value.
+func (m *Image) ReadU64(addr uint64) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(m.ByteAt(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// WriteU64 stores a little-endian 64-bit value.
+func (m *Image) WriteU64(addr uint64, v uint64) {
+	for i := 0; i < 8; i++ {
+		m.SetByte(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// ReadUint reads size bytes (1 or 8) as an unsigned little-endian integer.
+func (m *Image) ReadUint(addr uint64, size int) uint64 {
+	switch size {
+	case 1:
+		return uint64(m.ByteAt(addr))
+	case 8:
+		return m.ReadU64(addr)
+	default:
+		var v uint64
+		for i := 0; i < size && i < 8; i++ {
+			v |= uint64(m.ByteAt(addr+uint64(i))) << (8 * i)
+		}
+		return v
+	}
+}
+
+// WriteUint stores size bytes (1 or 8) of v little-endian.
+func (m *Image) WriteUint(addr uint64, v uint64, size int) {
+	for i := 0; i < size && i < 8; i++ {
+		m.SetByte(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// LoadProgram copies a program's data blocks into memory. Code is fetched
+// from the Program structure directly (the I-side models timing only), but
+// data must live in the image for loads/stores.
+func (m *Image) LoadProgram(p *asm.Program) {
+	for _, d := range p.Data {
+		m.Write(d.Addr, d.Bytes)
+	}
+}
+
+// CodeReader adapts a set of programs (one per hardware thread, possibly
+// shared) into an instruction fetch source.
+type CodeReader struct {
+	prog *asm.Program
+}
+
+// NewCodeReader wraps a program for instruction fetch.
+func NewCodeReader(p *asm.Program) *CodeReader { return &CodeReader{prog: p} }
+
+// Fetch returns the instruction at pc, or nil when pc is not code.
+func (c *CodeReader) Fetch(pc uint64) *isa.Inst { return c.prog.InstAt(pc) }
+
+// DRAMConfig holds the timing parameters of the DRAM channel model.
+type DRAMConfig struct {
+	Latency     uint64 // row access latency in cycles
+	BurstCycles uint64 // channel occupancy per line transfer
+	TagBurst    uint64 // extra channel occupancy for a tag-storage fetch
+}
+
+// DefaultDRAMConfig mirrors a ~100-cycle memory with modest bandwidth.
+func DefaultDRAMConfig() DRAMConfig {
+	return DRAMConfig{Latency: 100, BurstCycles: 4, TagBurst: 1}
+}
+
+// Controller is the memory-controller timing model. It owns the DRAM channel
+// occupancy and implements the parallel data+tag fetch. It is shared between
+// cores; channel contention is modelled with a next-free timestamp.
+//
+// Allocation tags are 4 bits per 16-byte granule — 1/32 of the data volume —
+// so tag reads are batched: one tag burst serves tagBatch line fills.
+type Controller struct {
+	cfg      DRAMConfig
+	tagsOn   bool // whether tag storage fetches are issued at all
+	nextFree uint64
+	tagAccum uint64
+
+	// Stats.
+	Fetches    uint64
+	TagFetches uint64
+	Writebacks uint64
+	BusyWait   uint64 // cycles requests spent waiting for the channel
+}
+
+// NewController returns a controller with the given DRAM timing. tagsOn
+// selects whether the platform fetches MTE tag storage in parallel with data
+// (false for the unsafe, non-MTE baseline).
+func NewController(cfg DRAMConfig, tagsOn bool) *Controller {
+	return &Controller{cfg: cfg, tagsOn: tagsOn}
+}
+
+// FetchLine returns the cycle at which a full line (data plus, when enabled,
+// its allocation tags) is available, for a request arriving at cycle now.
+func (c *Controller) FetchLine(now uint64) (readyAt uint64) {
+	start := now
+	if c.nextFree > start {
+		c.BusyWait += c.nextFree - start
+		start = c.nextFree
+	}
+	busy := c.cfg.BurstCycles
+	if c.tagsOn {
+		c.tagAccum++
+		if c.tagAccum%tagBatch == 0 {
+			busy += c.cfg.TagBurst
+			c.TagFetches++
+		}
+	}
+	c.nextFree = start + busy
+	c.Fetches++
+	return start + c.cfg.Latency + busy
+}
+
+// tagBatch is the number of line fills amortising one tag-storage burst
+// (one 64-byte tag burst covers 32 lines of tags; 8 is conservative,
+// accounting for spatial spread).
+const tagBatch = 8
+
+// Writeback accounts a dirty-line eviction reaching DRAM. It consumes
+// channel bandwidth but nothing waits on it.
+func (c *Controller) Writeback(now uint64) {
+	start := now
+	if c.nextFree > start {
+		start = c.nextFree
+	}
+	busy := c.cfg.BurstCycles
+	if c.tagsOn {
+		c.tagAccum++
+		if c.tagAccum%tagBatch == 0 {
+			busy += c.cfg.TagBurst
+		}
+	}
+	c.nextFree = start + busy
+	c.Writebacks++
+}
+
+// TagsEnabled reports whether the controller fetches tag storage.
+func (c *Controller) TagsEnabled() bool { return c.tagsOn }
+
+// Latency returns the configured DRAM access latency in cycles.
+func (c *Controller) Latency() uint64 { return c.cfg.Latency }
+
+// String summarises controller activity.
+func (c *Controller) String() string {
+	return fmt.Sprintf("memctrl{fetches=%d tagFetches=%d writebacks=%d busyWait=%d}",
+		c.Fetches, c.TagFetches, c.Writebacks, c.BusyWait)
+}

@@ -1,0 +1,137 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"specasan/internal/asm"
+	"specasan/internal/mte"
+)
+
+func TestImageReadWriteRoundTrip(t *testing.T) {
+	m := NewImage()
+	m.WriteU64(0x1000, 0xdead_beef_cafe_f00d)
+	if got := m.ReadU64(0x1000); got != 0xdead_beef_cafe_f00d {
+		t.Fatalf("round trip = %#x", got)
+	}
+	// Little-endian byte order.
+	if m.ByteAt(0x1000) != 0x0d || m.ByteAt(0x1007) != 0xde {
+		t.Fatal("endianness wrong")
+	}
+	// Unmapped memory reads as zero and does not allocate.
+	if m.ByteAt(0x999999) != 0 {
+		t.Fatal("unmapped read must be zero")
+	}
+}
+
+func TestImageStripsPointerTags(t *testing.T) {
+	m := NewImage()
+	tagged := mte.WithKey(0x2000, 0xb)
+	m.WriteU64(tagged, 42)
+	if m.ReadU64(0x2000) != 42 {
+		t.Fatal("tagged and untagged pointers must reach the same bytes")
+	}
+}
+
+func TestImageCrossPageAccess(t *testing.T) {
+	m := NewImage()
+	addr := uint64(4096 - 4) // straddles a page boundary
+	m.WriteU64(addr, 0x1122334455667788)
+	if got := m.ReadU64(addr); got != 0x1122334455667788 {
+		t.Fatalf("cross-page = %#x", got)
+	}
+}
+
+func TestReadWriteUintSizes(t *testing.T) {
+	m := NewImage()
+	m.WriteUint(0x3000, 0xabcd, 1)
+	if m.ReadUint(0x3000, 1) != 0xcd {
+		t.Fatal("byte write must truncate")
+	}
+	m.WriteUint(0x3010, 0x1234567890, 8)
+	if m.ReadUint(0x3010, 8) != 0x1234567890 {
+		t.Fatal("word size wrong")
+	}
+}
+
+func TestQuickReadWrite(t *testing.T) {
+	m := NewImage()
+	f := func(addr uint32, val uint64) bool {
+		a := uint64(addr)
+		m.WriteU64(a, val)
+		return m.ReadU64(a) == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadProgram(t *testing.T) {
+	p := asm.MustAssemble(`
+_start:
+    NOP
+    .org 0x5000
+data:
+    .word 7, 8
+    .ascii "hi"
+`)
+	m := NewImage()
+	m.LoadProgram(p)
+	if m.ReadU64(0x5000) != 7 || m.ReadU64(0x5008) != 8 {
+		t.Fatal("words not loaded")
+	}
+	if !bytes.Equal(m.Read(0x5010, 2), []byte("hi")) {
+		t.Fatal("ascii not loaded")
+	}
+}
+
+func TestControllerLatencyAndBandwidth(t *testing.T) {
+	c := NewController(DRAMConfig{Latency: 100, BurstCycles: 4, TagBurst: 1}, false)
+	r1 := c.FetchLine(0)
+	if r1 != 104 {
+		t.Fatalf("first fetch ready at %d, want 104", r1)
+	}
+	// A burst of fetches serialises on the channel.
+	var last uint64
+	for i := 0; i < 10; i++ {
+		last = c.FetchLine(0)
+	}
+	if last < 100+4*11 {
+		t.Fatalf("channel contention missing: %d", last)
+	}
+	if c.BusyWait == 0 {
+		t.Fatal("busy-wait cycles not accounted")
+	}
+}
+
+func TestControllerTagTrafficBatched(t *testing.T) {
+	plain := NewController(DRAMConfig{Latency: 100, BurstCycles: 4, TagBurst: 1}, false)
+	tagged := NewController(DRAMConfig{Latency: 100, BurstCycles: 4, TagBurst: 1}, true)
+	var lastPlain, lastTagged uint64
+	for i := 0; i < 64; i++ {
+		lastPlain = plain.FetchLine(0)
+		lastTagged = tagged.FetchLine(0)
+	}
+	if lastTagged <= lastPlain {
+		t.Fatal("tag traffic must consume extra bandwidth")
+	}
+	// But far less than one burst per fill (tags are 1/32 of the data).
+	if lastTagged-lastPlain > 64 {
+		t.Fatalf("tag overhead too high: %d extra cycles", lastTagged-lastPlain)
+	}
+	if tagged.TagFetches == 0 || tagged.TagFetches >= tagged.Fetches {
+		t.Fatalf("tag fetches %d of %d fills: batching broken", tagged.TagFetches, tagged.Fetches)
+	}
+}
+
+func TestCodeReader(t *testing.T) {
+	p := asm.MustAssemble("NOP\nHLT")
+	cr := NewCodeReader(p)
+	if in := cr.Fetch(p.Entry); in == nil {
+		t.Fatal("fetch failed")
+	}
+	if in := cr.Fetch(0xdeadbeef); in != nil {
+		t.Fatal("non-code fetch must return nil")
+	}
+}

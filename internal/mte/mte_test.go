@@ -1,0 +1,168 @@
+package mte
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStripRemovesTopByte(t *testing.T) {
+	p := uint64(0x0b00_0000_1234_5678)
+	if got := Strip(p); got != 0x1234_5678 {
+		t.Fatalf("Strip = %#x", got)
+	}
+	if got := Strip(0x1234); got != 0x1234 {
+		t.Fatalf("Strip(untagged) = %#x", got)
+	}
+}
+
+func TestKeyAndWithKey(t *testing.T) {
+	p := uint64(0x4000)
+	for k := Tag(0); k < NumTags; k++ {
+		q := WithKey(p, k)
+		if Key(q) != k {
+			t.Fatalf("Key(WithKey(p,%d)) = %d", k, Key(q))
+		}
+		if Strip(q) != p {
+			t.Fatalf("WithKey changed the address: %#x", Strip(q))
+		}
+	}
+}
+
+func TestWithKeyIdempotent(t *testing.T) {
+	f := func(p uint64, a, b uint8) bool {
+		ka, kb := Tag(a%16), Tag(b%16)
+		return Key(WithKey(WithKey(p, ka), kb)) == kb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchIsExactEquality(t *testing.T) {
+	if Match(0, 7) {
+		t.Error("untagged pointer must not reach tagged memory")
+	}
+	if Match(7, 0) {
+		t.Error("tagged pointer must not reach untagged memory")
+	}
+	if !Match(5, 5) || !Match(0, 0) {
+		t.Error("equal tags must match")
+	}
+	if Match(5, 6) {
+		t.Error("different tags must not match")
+	}
+}
+
+func TestGranuleIndex(t *testing.T) {
+	if GranuleIndex(0) != 0 || GranuleIndex(15) != 0 || GranuleIndex(16) != 1 {
+		t.Fatal("granule boundaries wrong")
+	}
+	// Tag bits must not perturb granule indexing.
+	if GranuleIndex(WithKey(32, 9)) != 2 {
+		t.Fatal("granule index must strip the key")
+	}
+}
+
+func TestStorageSetAndCheck(t *testing.T) {
+	s := NewStorage()
+	base := uint64(0x1000)
+	s.SetRange(base, 64, 5)
+
+	ok := s.CheckAccess(WithKey(base, 5), 8)
+	if !ok {
+		t.Fatal("matching key must pass")
+	}
+	if s.CheckAccess(WithKey(base, 6), 8) {
+		t.Fatal("mismatching key must fail")
+	}
+	if s.CheckAccess(base, 8) {
+		t.Fatal("untagged pointer to tagged memory must fail")
+	}
+	// Access straddling out of the tagged region fails: the next granule
+	// has lock 0, which a key-5 pointer does not match.
+	if s.CheckAccess(WithKey(base+56, 5), 16) {
+		t.Fatal("straddle into untagged granule must fail")
+	}
+	// Straddle into a differently tagged granule must fail too.
+	s.SetRange(base+64, 16, 9)
+	if s.CheckAccess(WithKey(base+56, 5), 16) {
+		t.Fatal("straddle into mismatched granule must fail")
+	}
+}
+
+func TestStorageRetagDetectsUAF(t *testing.T) {
+	s := NewStorage()
+	base := uint64(0x2000)
+	s.SetRange(base, 32, 3)
+	danglingPtr := WithKey(base, 3)
+	if !s.CheckAccess(danglingPtr, 8) {
+		t.Fatal("live pointer must pass")
+	}
+	// free(): retag the region.
+	s.SetRange(base, 32, 7)
+	if s.CheckAccess(danglingPtr, 8) {
+		t.Fatal("dangling pointer must fail after retag")
+	}
+}
+
+func TestSetLockZeroClears(t *testing.T) {
+	s := NewStorage()
+	s.SetLock(0x100, 4)
+	if s.TaggedGranules() != 1 {
+		t.Fatal("expected one tagged granule")
+	}
+	s.SetLock(0x100, 0)
+	if s.TaggedGranules() != 0 {
+		t.Fatal("lock 0 must clear the granule")
+	}
+}
+
+func TestChooseTagRespectsExclusion(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		tag := ChooseTag(seed, 0b0000_0000_1111_1110) // exclude 1..7
+		if tag == 0 || (tag >= 1 && tag <= 7) {
+			t.Fatalf("seed %d: tag %d violates exclusion", seed, tag)
+		}
+	}
+	// Everything excluded: fall back to 0.
+	if got := ChooseTag(1, 0xffff); got != 0 {
+		t.Fatalf("full exclusion should yield 0, got %d", got)
+	}
+}
+
+func TestChooseTagDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		if ChooseTag(seed, 2) != ChooseTag(seed, 2) {
+			t.Fatal("ChooseTag must be deterministic")
+		}
+	}
+}
+
+func TestChooseTagNeverZeroWithoutFullExclusion(t *testing.T) {
+	f := func(seed uint64, excl uint16) bool {
+		tag := ChooseTag(seed, excl)
+		if excl|1 == 0xffff {
+			return tag == 0 // full exclusion falls back to 0
+		}
+		return tag != 0 && excl&(1<<tag) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckMultiGranule(t *testing.T) {
+	s := NewStorage()
+	s.SetRange(0x3000, 48, 2) // three granules
+	lockAt := s.LockAtGranule
+	if !Check(WithKey(0x3000, 2), 48, lockAt) {
+		t.Fatal("48-byte matching access must pass")
+	}
+	s.SetLock(0x3020, 9) // poison the third granule
+	if Check(WithKey(0x3000, 2), 48, lockAt) {
+		t.Fatal("access crossing a mismatched granule must fail")
+	}
+	if !Check(WithKey(0x3000, 2), 32, lockAt) {
+		t.Fatal("access stopping before the mismatch must pass")
+	}
+}

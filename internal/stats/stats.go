@@ -1,0 +1,167 @@
+// Package stats provides the counters, ratios and summary statistics the
+// experiment harness reports. Counters are plain uint64s grouped in a named
+// Set so every component can expose its numbers without depending on the
+// harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Set is a named collection of counters. The zero value is not usable; use
+// NewSet.
+type Set struct {
+	name     string
+	counters map[string]uint64
+	order    []string
+}
+
+// NewSet returns an empty counter set with the given name.
+func NewSet(name string) *Set {
+	return &Set{name: name, counters: make(map[string]uint64)}
+}
+
+// Add increments counter key by delta, creating it on first use.
+func (s *Set) Add(key string, delta uint64) {
+	if _, ok := s.counters[key]; !ok {
+		s.order = append(s.order, key)
+	}
+	s.counters[key] += delta
+}
+
+// Inc increments counter key by one.
+func (s *Set) Inc(key string) { s.Add(key, 1) }
+
+// Get returns the current value of counter key (0 if never touched).
+func (s *Set) Get(key string) uint64 { return s.counters[key] }
+
+// Set assigns counter key to v.
+func (s *Set) Set(key string, v uint64) {
+	if _, ok := s.counters[key]; !ok {
+		s.order = append(s.order, key)
+	}
+	s.counters[key] = v
+}
+
+// Keys returns the counter names in first-use order.
+func (s *Set) Keys() []string { return append([]string(nil), s.order...) }
+
+// Name returns the set name.
+func (s *Set) Name() string { return s.name }
+
+// Ratio returns a/b as float64, or 0 when b is zero.
+func (s *Set) Ratio(a, b string) float64 {
+	den := s.Get(b)
+	if den == 0 {
+		return 0
+	}
+	return float64(s.Get(a)) / float64(den)
+}
+
+// String renders the set as "name{k1=v1 k2=v2 ...}" with keys sorted for
+// stable output.
+func (s *Set) String() string {
+	keys := append([]string(nil), s.order...)
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s{", s.name)
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", k, s.counters[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Merge adds every counter from other into s.
+func (s *Set) Merge(other *Set) {
+	for _, k := range other.order {
+		s.Add(k, other.counters[k])
+	}
+}
+
+// Geomean returns the geometric mean of xs. Non-positive entries are
+// skipped; an empty input yields 0.
+func Geomean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Histogram is a simple fixed-bucket histogram for latency distributions.
+type Histogram struct {
+	BucketWidth uint64
+	Counts      []uint64
+	N           uint64
+	Sum         uint64
+	Max         uint64
+}
+
+// NewHistogram returns a histogram with the given bucket width and count.
+func NewHistogram(bucketWidth uint64, buckets int) *Histogram {
+	return &Histogram{BucketWidth: bucketWidth, Counts: make([]uint64, buckets)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	b := int(v / h.BucketWidth)
+	if b >= len(h.Counts) {
+		b = len(h.Counts) - 1
+	}
+	h.Counts[b]++
+	h.N++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+// MeanValue returns the mean of the observed samples.
+func (h *Histogram) MeanValue() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N)
+}
+
+// Percentile returns an upper bound for the p-th percentile (0..100) using
+// bucket boundaries.
+func (h *Histogram) Percentile(p float64) uint64 {
+	if h.N == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(p / 100 * float64(h.N)))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			return uint64(i+1) * h.BucketWidth
+		}
+	}
+	return h.Max
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet("test")
+	s.Inc("a")
+	s.Add("a", 4)
+	s.Set("b", 10)
+	if s.Get("a") != 5 || s.Get("b") != 10 || s.Get("missing") != 0 {
+		t.Fatal("counter values wrong")
+	}
+	if r := s.Ratio("a", "b"); r != 0.5 {
+		t.Fatalf("ratio = %v", r)
+	}
+	if r := s.Ratio("a", "zero"); r != 0 {
+		t.Fatal("zero denominator must yield 0")
+	}
+	if !strings.Contains(s.String(), "a=5") {
+		t.Fatalf("String() = %s", s)
+	}
+}
+
+func TestSetMerge(t *testing.T) {
+	a := NewSet("a")
+	a.Add("x", 3)
+	b := NewSet("b")
+	b.Add("x", 4)
+	b.Add("y", 1)
+	a.Merge(b)
+	if a.Get("x") != 7 || a.Get("y") != 1 {
+		t.Fatal("merge wrong")
+	}
+	if len(a.Keys()) != 2 {
+		t.Fatalf("keys = %v", a.Keys())
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	got := Geomean([]float64{1, 4})
+	if math.Abs(got-2) > 1e-9 {
+		t.Fatalf("geomean(1,4) = %v", got)
+	}
+	if Geomean(nil) != 0 {
+		t.Fatal("empty geomean must be 0")
+	}
+	// Non-positive entries are skipped.
+	if g := Geomean([]float64{2, 0, -1, 2}); math.Abs(g-2) > 1e-9 {
+		t.Fatalf("geomean with junk = %v", g)
+	}
+}
+
+func TestGeomeanBetweenMinAndMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range raw {
+			x = math.Abs(x)
+			if x > 0 && x < 1e6 {
+				xs = append(xs, x)
+				lo = math.Min(lo, x)
+				hi = math.Max(hi, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := Geomean(xs)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean must be 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 5)
+	for _, v := range []uint64{1, 5, 15, 25, 1000} {
+		h.Observe(v)
+	}
+	if h.N != 5 || h.Max != 1000 {
+		t.Fatal("counts wrong")
+	}
+	if h.MeanValue() != (1+5+15+25+1000)/5.0 {
+		t.Fatalf("mean = %v", h.MeanValue())
+	}
+	if p := h.Percentile(50); p != 20 {
+		t.Fatalf("p50 = %d", p)
+	}
+	if h.Percentile(100) < 40 {
+		t.Fatal("p100 must reach the top bucket")
+	}
+}
