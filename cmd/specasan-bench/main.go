@@ -67,8 +67,14 @@ func main() {
 func sweep(specs []*workloads.Spec, mits []core.Mitigation, opt harness.Options) *harness.Sweep {
 	sw, err := harness.RunSweep(specs, mits, opt)
 	if err != nil {
+		// Every cell failed — nothing to format.
 		fmt.Fprintln(os.Stderr, "specasan-bench:", err)
 		os.Exit(1)
+	}
+	// Individual failed cells are footnoted by the formatters; warn on
+	// stderr too so scripted runs notice.
+	for _, f := range sw.FailedCells() {
+		fmt.Fprintln(os.Stderr, "specasan-bench: cell failed:", f)
 	}
 	return sw
 }

@@ -1,0 +1,149 @@
+// specasan-chaos runs the fault-injection campaign: a grid of chaos-
+// perturbed workload runs, each checked bit-for-bit against the golden
+// interpreter's architectural state, followed by a Table 1 verdict-
+// invariance sweep under timing-safe chaos.
+//
+// The default campaign is 8 seeds x 6 fault kinds (each alone, plus one
+// all-kinds-combined column) x 3 workloads under two mitigations, then the
+// full 11-attack x 5-mitigation verdict matrix under 2 chaos seeds. Exit
+// status 1 means a divergence — a reproducible one: rerun with the printed
+// seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"specasan/internal/attacks"
+	"specasan/internal/chaos"
+	"specasan/internal/core"
+	"specasan/internal/workloads"
+)
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "specasan-chaos: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	seeds := flag.Int("seeds", 8, "number of chaos seeds per grid cell")
+	seed0 := flag.Uint64("seed0", 1, "first seed")
+	kindsFlag := flag.String("kinds", "", "comma-separated fault kinds (default: every kind)")
+	wlFlag := flag.String("workloads", "511.povray_r,505.mcf_r,541.leela_r",
+		"comma-separated benchmark names")
+	mitsFlag := flag.String("mits", "Unsafe,SpecASan", "comma-separated mitigations for the golden sweep")
+	rate := flag.Float64("rate", 0.02, "per-opportunity injection probability")
+	maxLat := flag.Uint64("maxlat", 200, "max injected latency (cycles)")
+	scale := flag.Float64("scale", 0.02, "kernel iteration scale")
+	maxCycles := flag.Uint64("maxcycles", 100_000_000, "cycle budget per run")
+	verdicts := flag.Bool("verdicts", true, "also check Table 1 verdict invariance under timing-safe chaos")
+	verdictSeeds := flag.Int("verdict-seeds", 2, "chaos seeds for the verdict-invariance sweep")
+	verbose := flag.Bool("v", false, "log each run")
+	flag.Parse()
+
+	kinds := chaos.AllKinds()
+	if *kindsFlag != "" {
+		kinds = nil
+		for _, s := range strings.Split(*kindsFlag, ",") {
+			k, err := chaos.ParseKind(strings.TrimSpace(s))
+			if err != nil {
+				fail("%v", err)
+			}
+			kinds = append(kinds, k)
+		}
+	}
+
+	var specs []*workloads.Spec
+	for _, name := range strings.Split(*wlFlag, ",") {
+		name = strings.TrimSpace(name)
+		spec := workloads.ByName(name)
+		if spec == nil {
+			fail("unknown workload %q", name)
+		}
+		specs = append(specs, spec)
+	}
+
+	var mits []core.Mitigation
+	for _, s := range strings.Split(*mitsFlag, ",") {
+		m, err := core.ParseMitigation(strings.TrimSpace(s))
+		if err != nil {
+			fail("%v", err)
+		}
+		mits = append(mits, m)
+	}
+
+	// Grid columns: each kind alone (isolating which perturbation breaks
+	// state), plus all kinds combined (their interactions).
+	kindSets := make([][]chaos.Kind, 0, len(kinds)+1)
+	for _, k := range kinds {
+		kindSets = append(kindSets, []chaos.Kind{k})
+	}
+	if len(kinds) > 1 {
+		kindSets = append(kindSets, kinds)
+	}
+
+	runs, injected, failures := 0, uint64(0), 0
+	for _, spec := range specs {
+		for _, mit := range mits {
+			for _, ks := range kindSets {
+				for s := 0; s < *seeds; s++ {
+					cfg := chaos.Config{
+						Seed: *seed0 + uint64(s), Kinds: ks,
+						Rate: *rate, MaxLatency: *maxLat,
+					}
+					rep, err := chaos.RunWorkload(spec, mit, cfg, *scale, *maxCycles)
+					if err != nil {
+						fail("%s/%v: %v", spec.Name, mit, err)
+					}
+					runs++
+					injected += rep.Injected
+					if *verbose {
+						fmt.Printf("  %-16s %-12s seed=%-4d %-60s cycles=%-9d %s\n",
+							spec.Name, mit, rep.Seed, kindSetName(ks), rep.Cycles, rep.Summary)
+					}
+					if rep.Failed() {
+						failures++
+						fmt.Printf("DIVERGENCE %s under %v, seed %d, kinds %s (injected %d: %s):\n",
+							spec.Name, mit, rep.Seed, kindSetName(ks), rep.Injected, rep.Summary)
+						for _, d := range rep.Divergence {
+							fmt.Printf("  %s\n", d)
+						}
+					}
+				}
+			}
+		}
+	}
+	fmt.Printf("golden sweep: %d runs (%d workloads x %d mitigations x %d kind sets x %d seeds), %d faults injected, %d divergences\n",
+		runs, len(specs), len(mits), len(kindSets), *seeds, injected, failures)
+
+	drifted := 0
+	if *verdicts {
+		for s := 0; s < *verdictSeeds; s++ {
+			seed := *seed0 + uint64(s)
+			drifts, err := chaos.CheckVerdictInvariance(seed, *rate, attacks.TableMitigations())
+			if err != nil {
+				fail("verdict sweep: %v", err)
+			}
+			for _, d := range drifts {
+				drifted++
+				fmt.Printf("VERDICT DRIFT (seed %d): %s\n", seed, d)
+			}
+		}
+		fmt.Printf("verdict sweep: %d attacks x %d mitigations x %d seeds, %d drifts\n",
+			len(attacks.All()), len(attacks.TableMitigations()), *verdictSeeds, drifted)
+	}
+
+	if failures > 0 || drifted > 0 {
+		os.Exit(1)
+	}
+}
+
+func kindSetName(ks []chaos.Kind) string {
+	names := make([]string, len(ks))
+	for i, k := range ks {
+		names[i] = k.String()
+	}
+	return strings.Join(names, "+")
+}

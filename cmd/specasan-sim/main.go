@@ -90,12 +90,19 @@ func main() {
 	fmt.Printf("committed    %d\n", res.Committed)
 	fmt.Printf("ipc          %.3f\n", res.IPC())
 	fmt.Printf("timed-out    %v\n", res.TimedOut)
+	if cores := res.TimedOutCores(); len(cores) > 0 {
+		fmt.Printf("stuck-cores  %v\n", cores)
+	}
 	fmt.Printf("faulted      %v\n", res.Faulted)
 	if out := m.Core(0).Output; len(out) > 0 {
 		fmt.Printf("output       %q\n", out)
 	}
 	fmt.Println("\ncounters:")
 	fmt.Print(harness.FormatStats(res.Stats))
+	if res.Err != nil {
+		fmt.Fprintf(os.Stderr, "\nspecasan-sim: %v\npipeline snapshot:\n%s", res.Err, res.Err.Snapshot)
+		os.Exit(1)
+	}
 }
 
 func printConfig() {

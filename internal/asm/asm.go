@@ -76,12 +76,24 @@ func (p *Program) NumInsts() int {
 	return n
 }
 
-// Label returns the address of a label, panicking if absent. It is a
-// convenience for harness code that by construction knows the label exists.
-func (p *Program) Label(name string) uint64 {
+// LookupLabel returns the address of a label, or an error when the label
+// does not exist. Production code (attack builders, harness plumbing) uses
+// this form so a misnamed label surfaces as a propagated error instead of
+// killing a whole sweep.
+func (p *Program) LookupLabel(name string) (uint64, error) {
 	a, ok := p.Labels[name]
 	if !ok {
-		panic("asm: unknown label " + name)
+		return 0, fmt.Errorf("asm: unknown label %q", name)
+	}
+	return a, nil
+}
+
+// MustLabel returns the address of a label, panicking if absent. It is a
+// convenience for tests that by construction know the label exists.
+func (p *Program) MustLabel(name string) uint64 {
+	a, err := p.LookupLabel(name)
+	if err != nil {
+		panic(err)
 	}
 	return a
 }

@@ -47,12 +47,12 @@ loop:
 done:
     SVC #0
 `)
-	bcc := p.InstAt(p.Label("loop") + 8)
-	if bcc.Op != isa.BCC || bcc.Cond != isa.LT || uint64(bcc.Imm) != p.Label("loop") {
+	bcc := p.InstAt(p.MustLabel("loop") + 8)
+	if bcc.Op != isa.BCC || bcc.Cond != isa.LT || uint64(bcc.Imm) != p.MustLabel("loop") {
 		t.Fatalf("B.LT = %v", bcc)
 	}
-	b := p.InstAt(p.Label("loop") + 12)
-	if b.Op != isa.B || uint64(b.Imm) != p.Label("done") {
+	b := p.InstAt(p.MustLabel("loop") + 12)
+	if b.Op != isa.B || uint64(b.Imm) != p.MustLabel("done") {
 		t.Fatalf("B = %v", b)
 	}
 }
@@ -104,8 +104,8 @@ table:
 after:
     .word table
 `)
-	if p.Label("table") != 0x2000 {
-		t.Fatalf("table = %#x", p.Label("table"))
+	if p.MustLabel("table") != 0x2000 {
+		t.Fatalf("table = %#x", p.MustLabel("table"))
 	}
 	var data *DataBlock
 	for i := range p.Data {
@@ -126,7 +126,7 @@ after:
 		t.Fatalf("ascii wrong: %q", data.Bytes[26:28])
 	}
 	// after = 0x2000 + 28 aligned to 8 = 0x2020, + 16 space
-	if got := p.Label("after"); got != 0x2030 {
+	if got := p.MustLabel("after"); got != 0x2030 {
 		t.Fatalf("after = %#x", got)
 	}
 }
@@ -190,7 +190,7 @@ _start:
 data:
     .word 42
 `)
-	want := p.Label("data")
+	want := p.MustLabel("data")
 	for i := 0; i < 2; i++ {
 		in := p.InstAt(p.Entry + uint64(4*i))
 		if in.Op != isa.MOV || uint64(in.Imm) != want {
@@ -328,7 +328,7 @@ a: b:
 c:
     NOP
 `)
-	if p.Label("a") != p.Label("b") || p.Label("b") != p.Label("c") {
+	if p.MustLabel("a") != p.MustLabel("b") || p.MustLabel("b") != p.MustLabel("c") {
 		t.Fatal("aliased labels must share the address")
 	}
 }

@@ -110,6 +110,13 @@ func (v Verdict) Word() string {
 
 // RunVariant executes one variant under the given mitigation.
 func RunVariant(v Variant, mit core.Mitigation) (*Outcome, error) {
+	return RunVariantWith(v, mit, nil)
+}
+
+// RunVariantWith executes one variant with a machine-preparation hook
+// applied after the scenario's own setup — the entry point the chaos
+// injector uses to perturb attack runs for verdict-invariance checking.
+func RunVariantWith(v Variant, mit core.Mitigation, prep func(*cpu.Machine)) (*Outcome, error) {
 	sc, err := v.Build()
 	if err != nil {
 		return nil, fmt.Errorf("build %s: %w", v.Name, err)
@@ -121,6 +128,9 @@ func RunVariant(v Variant, mit core.Mitigation) (*Outcome, error) {
 	}
 	if sc.Setup != nil {
 		sc.Setup(m)
+	}
+	if prep != nil {
+		prep(m)
 	}
 	maxC := sc.MaxCycles
 	if maxC == 0 {
@@ -146,10 +156,16 @@ func RunVariant(v Variant, mit core.Mitigation) (*Outcome, error) {
 // the Table 1 verdict: full when no variant leaked, none when all leaked,
 // partial otherwise.
 func (a *Attack) Evaluate(mit core.Mitigation) (Verdict, []*Outcome, error) {
+	return a.EvaluateWith(mit, nil)
+}
+
+// EvaluateWith derives the verdict with a machine-preparation hook applied
+// to every variant run (chaos perturbation).
+func (a *Attack) EvaluateWith(mit core.Mitigation, prep func(*cpu.Machine)) (Verdict, []*Outcome, error) {
 	leaked, blocked := 0, 0
 	outs := make([]*Outcome, 0, len(a.Variants))
 	for _, v := range a.Variants {
-		out, err := RunVariant(v, mit)
+		out, err := RunVariantWith(v, mit, prep)
 		if err != nil {
 			return VerdictNone, nil, fmt.Errorf("%s/%s: %w", a.Name, v.Name, err)
 		}

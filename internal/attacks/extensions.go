@@ -79,10 +79,14 @@ plant:
 		if err != nil {
 			return nil, err
 		}
+		handler, err := sc.Prog.LookupLabel("handler")
+		if err != nil {
+			return nil, err
+		}
 		inner := sc.Setup
 		sc.Setup = func(m *cpu.Machine) {
 			inner(m)
-			m.Core(0).FaultHandler = sc.Prog.Label("handler")
+			m.Core(0).FaultHandler = handler
 		}
 		return sc, nil
 	}

@@ -11,13 +11,16 @@ import (
 // "kernel" page as an assist (permission-faulting) region, and install the
 // fault handler so the attack loop survives the architectural fault —
 // exactly how real MDS exploits handle the signal.
-func mdsSetup(prog *asm.Program) func(m *cpu.Machine) {
-	handler := prog.Label("handler")
+func mdsSetup(prog *asm.Program) (func(m *cpu.Machine), error) {
+	handler, err := prog.LookupLabel("handler")
+	if err != nil {
+		return nil, err
+	}
 	return func(m *cpu.Machine) {
 		setupCommon(m)
 		m.Core(0).SetAssistRegion(KernelAddr, KernelAddr+KernelSize)
 		m.Core(0).FaultHandler = handler
-	}
+	}, nil
 }
 
 // Fallout builds the store-buffer (write-transient-forwarding) PoC: the
@@ -67,7 +70,11 @@ aslot:
 		if err != nil {
 			return nil, err
 		}
-		return &Scenario{Prog: prog, Setup: mdsSetup(prog)}, nil
+		setup, err := mdsSetup(prog)
+		if err != nil {
+			return nil, err
+		}
+		return &Scenario{Prog: prog, Setup: setup}, nil
 	}
 	return &Attack{
 		Name:  "Fallout",
@@ -118,7 +125,11 @@ _start:
 		if err != nil {
 			return nil, err
 		}
-		return &Scenario{Prog: prog, Setup: mdsSetup(prog)}, nil
+		setup, err := mdsSetup(prog)
+		if err != nil {
+			return nil, err
+		}
+		return &Scenario{Prog: prog, Setup: setup}, nil
 	}
 	return &Attack{
 		Name:  "RIDL",
@@ -154,7 +165,11 @@ _start:
 		if err != nil {
 			return nil, err
 		}
-		return &Scenario{Prog: prog, Setup: mdsSetup(prog)}, nil
+		setup, err := mdsSetup(prog)
+		if err != nil {
+			return nil, err
+		}
+		return &Scenario{Prog: prog, Setup: setup}, nil
 	}
 	return &Attack{
 		Name:  "ZombieLoad",

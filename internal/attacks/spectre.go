@@ -364,7 +364,10 @@ lrslot:
 			if err != nil {
 				return nil, err
 			}
-			gadget := prog.Label("gadget")
+			gadget, err := prog.LookupLabel("gadget")
+			if err != nil {
+				return nil, err
+			}
 			return &Scenario{Prog: prog, Setup: func(m *cpu.Machine) {
 				setupCommon(m)
 				m.Core(0).Predictor().PoisonRSB(gadget, 4)

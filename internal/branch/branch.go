@@ -7,6 +7,8 @@
 // internal/attacks exploit.
 package branch
 
+import "fmt"
+
 // Predictor bundles the per-core prediction state.
 type Predictor struct {
 	phtBits int
@@ -28,6 +30,13 @@ type Predictor struct {
 	CondLookups, CondMispredicts uint64
 	IndLookups, IndMispredicts   uint64
 	RetLookups, RetMispredicts   uint64
+
+	// ChaosFlipCond, when set, may invert the direction predicted for a
+	// conditional branch (fault injection). A flipped prediction behaves
+	// exactly like an organic mispredict: resolution trains the PHT with the
+	// true outcome and repairs the speculative history, so the perturbation
+	// is microarchitectural only.
+	ChaosFlipCond func(pc uint64) bool
 }
 
 type btbEntry struct {
@@ -45,10 +54,10 @@ type Config struct {
 }
 
 // New returns a predictor with the given geometry.
-func New(cfg Config) *Predictor {
+func New(cfg Config) (*Predictor, error) {
 	size := cfg.BTBSize
 	if size == 0 || size&(size-1) != 0 {
-		panic("branch: BTBSize must be a power of two")
+		return nil, fmt.Errorf("branch: BTBSize %d must be a power of two", size)
 	}
 	p := &Predictor{
 		phtBits: cfg.PHTBits,
@@ -63,7 +72,7 @@ func New(cfg Config) *Predictor {
 	for i := range p.pht {
 		p.pht[i] = 2
 	}
-	return p
+	return p, nil
 }
 
 func (p *Predictor) phtIndex(pc uint64) uint64 {
@@ -80,6 +89,9 @@ func (p *Predictor) PredictCond(pc uint64) (taken bool, snapshot uint64) {
 	p.CondLookups++
 	snapshot = p.ghr
 	taken = p.pht[p.phtIndex(pc)] >= 2
+	if p.ChaosFlipCond != nil && p.ChaosFlipCond(pc) {
+		taken = !taken
+	}
 	p.ghr = p.ghr<<1 | b2u(taken)
 	return taken, snapshot
 }

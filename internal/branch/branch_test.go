@@ -6,7 +6,11 @@ import (
 )
 
 func newP() *Predictor {
-	return New(Config{PHTBits: 10, BTBSize: 64, RSBDepth: 8, BHBLen: 8})
+	p, err := New(Config{PHTBits: 10, BTBSize: 64, RSBDepth: 8, BHBLen: 8})
+	if err != nil {
+		panic(err)
+	}
+	return p
 }
 
 func TestCondTraining(t *testing.T) {

@@ -57,17 +57,23 @@ type Level struct {
 
 // NewLevel builds a cache level. ports is the number of same-cycle access
 // ports; mshrs bounds outstanding misses.
-func NewLevel(name string, sizeBytes, ways, lineSz int, hitLat uint64, ports, mshrs int) *Level {
+func NewLevel(name string, sizeBytes, ways, lineSz int, hitLat uint64, ports, mshrs int) (*Level, error) {
+	if ways <= 0 || lineSz <= 0 {
+		return nil, fmt.Errorf("cache %s: ways (%d) and line size (%d) must be positive", name, ways, lineSz)
+	}
 	sets := sizeBytes / (ways * lineSz)
 	if sets == 0 || sets&(sets-1) != 0 {
-		panic(fmt.Sprintf("cache %s: set count %d not a power of two", name, sets))
+		return nil, fmt.Errorf("cache %s: set count %d not a power of two", name, sets)
+	}
+	if ports <= 0 || mshrs <= 0 {
+		return nil, fmt.Errorf("cache %s: ports (%d) and MSHRs (%d) must be positive", name, ports, mshrs)
 	}
 	return &Level{
 		name: name, sets: sets, ways: ways, lineSz: lineSz, hitLat: hitLat,
 		lines: make([]line, sets*ways),
 		mshr:  make([]uint64, mshrs),
 		port:  make([]uint64, ports),
-	}
+	}, nil
 }
 
 func (l *Level) lineAddr(addr uint64) uint64 { return addr &^ uint64(l.lineSz-1) }
@@ -371,6 +377,16 @@ type Hierarchy struct {
 	LFBForwards   uint64 // baseline stale-LFB forwards (RIDL behaviour)
 	CoherenceInv  uint64
 	CoherenceXfer uint64
+
+	// Chaos fault-injection hooks (internal/chaos). Both perturb timing
+	// only — the data a request eventually returns is unchanged.
+	//
+	// ChaosMemLatency, when set, returns extra cycles added to a DRAM line
+	// fetch (memory/tag-fetch latency jitter).
+	ChaosMemLatency func(now uint64) uint64
+	// ChaosLFBDelay, when set, returns extra cycles before a new LFB
+	// allocation's data becomes usable (fill-buffer allocation pressure).
+	ChaosLFBDelay func(now uint64) uint64
 }
 
 // HierConfig carries the geometry for NewHierarchy.
@@ -399,10 +415,14 @@ type HierConfig struct {
 }
 
 // NewHierarchy builds the memory system.
-func NewHierarchy(cfg HierConfig, img *mem.Image) *Hierarchy {
+func NewHierarchy(cfg HierConfig, img *mem.Image) (*Hierarchy, error) {
+	l2, err := NewLevel("L2", cfg.L2SizeKB*1024, cfg.L2Ways, cfg.LineBytes, cfg.L2Latency, 2, cfg.MSHRs*2)
+	if err != nil {
+		return nil, err
+	}
 	h := &Hierarchy{
 		Img:             img,
-		L2:              NewLevel("L2", cfg.L2SizeKB*1024, cfg.L2Ways, cfg.LineBytes, cfg.L2Latency, 2, cfg.MSHRs*2),
+		L2:              l2,
 		Ctrl:            mem.NewController(cfg.DRAM, cfg.MTEOn),
 		dir:             make(map[uint64]*dirEntry),
 		lineSz:          cfg.LineBytes,
@@ -414,12 +434,20 @@ func NewHierarchy(cfg HierConfig, img *mem.Image) *Hierarchy {
 		transferLat:     16,
 	}
 	for c := 0; c < cfg.Cores; c++ {
-		h.L1I = append(h.L1I, NewLevel(fmt.Sprintf("L1I%d", c), cfg.L1ISizeKB*1024, cfg.L1IWays, cfg.LineBytes, cfg.L1ILatency, 1, cfg.MSHRs))
-		h.L1D = append(h.L1D, NewLevel(fmt.Sprintf("L1D%d", c), cfg.L1DSizeKB*1024, cfg.L1DWays, cfg.LineBytes, cfg.L1DLatency, cfg.LoadPorts, cfg.MSHRs))
+		l1i, err := NewLevel(fmt.Sprintf("L1I%d", c), cfg.L1ISizeKB*1024, cfg.L1IWays, cfg.LineBytes, cfg.L1ILatency, 1, cfg.MSHRs)
+		if err != nil {
+			return nil, err
+		}
+		l1d, err := NewLevel(fmt.Sprintf("L1D%d", c), cfg.L1DSizeKB*1024, cfg.L1DWays, cfg.LineBytes, cfg.L1DLatency, cfg.LoadPorts, cfg.MSHRs)
+		if err != nil {
+			return nil, err
+		}
+		h.L1I = append(h.L1I, l1i)
+		h.L1D = append(h.L1D, l1d)
 		h.LFBs = append(h.LFBs, NewLFB(cfg.LFBEntries))
 		h.Ghost = append(h.Ghost, NewGhost(cfg.GhostSize))
 	}
-	return h
+	return h, nil
 }
 
 func (h *Hierarchy) lineAddr(addr uint64) uint64 { return addr &^ uint64(h.lineSz-1) }
@@ -609,6 +637,9 @@ func (h *Hierarchy) Access(req AccessReq) AccessRes {
 	}
 
 	// Normal fill: MSHR + LFB track the in-flight line, then install in L1.
+	if h.ChaosLFBDelay != nil {
+		dataAt += h.ChaosLFBDelay(req.Now)
+	}
 	mshrStart := l1.reserveMSHR(start, dataAt-start)
 	_ = mshrStart
 	lfb.allocate(la, req.Now, dataAt, h.Img.Read(la, h.lineSz))
@@ -729,6 +760,9 @@ func (h *Hierarchy) fetchFromL2(core int, lineAddr uint64, now uint64, forWrite,
 	h.L2.Misses++
 	reqAt := h.L2.reserveMSHR(start+h.L2.hitLat, h.Ctrl.Latency())
 	memReady := h.Ctrl.FetchLine(reqAt)
+	if h.ChaosMemLatency != nil {
+		memReady += h.ChaosMemLatency(now)
+	}
 	if !install {
 		return memReady, "mem"
 	}
@@ -807,6 +841,39 @@ func (h *Hierarchy) FlushLine(ptr uint64, now uint64) uint64 {
 	}
 	delete(h.dir, la)
 	return now + 8 // maintenance-op latency
+}
+
+// ChaosEvictLine flushes the idx-th (mod occupancy) valid line of core's L1D
+// — the chaos injector's random-eviction primitive. Going through FlushLine
+// keeps the eviction architecturally safe: dirty data is written back and
+// every copy (L1s, L2, LFBs, ghost buffers, directory) is dropped
+// consistently. Returns false when the L1D holds no valid line.
+func (h *Hierarchy) ChaosEvictLine(core int, idx int, now uint64) bool {
+	if core < 0 || core >= len(h.L1D) {
+		return false
+	}
+	l1 := h.L1D[core]
+	n := 0
+	for i := range l1.lines {
+		if l1.lines[i].valid {
+			n++
+		}
+	}
+	if n == 0 {
+		return false
+	}
+	k := idx % n
+	for i := range l1.lines {
+		if !l1.lines[i].valid {
+			continue
+		}
+		if k == 0 {
+			h.FlushLine(l1.lines[i].addr, now)
+			return true
+		}
+		k--
+	}
+	return false
 }
 
 // FetchInst models an instruction fetch: L1I, then shared L2.

@@ -9,7 +9,7 @@ import (
 
 func newHier(mteOn, lfbTags bool) (*Hierarchy, *mem.Image) {
 	img := mem.NewImage()
-	h := NewHierarchy(HierConfig{
+	h, err := NewHierarchy(HierConfig{
 		Cores:     1,
 		L1ISizeKB: 32, L1IWays: 2, L1ILatency: 1,
 		L1DSizeKB: 32, L1DWays: 2, L1DLatency: 2,
@@ -18,6 +18,9 @@ func newHier(mteOn, lfbTags bool) (*Hierarchy, *mem.Image) {
 		DRAM:  mem.DRAMConfig{Latency: 100, BurstCycles: 4, TagBurst: 1},
 		MTEOn: mteOn, LFBTagging: lfbTags,
 	}, img)
+	if err != nil {
+		panic(err)
+	}
 	return h, img
 }
 
@@ -153,7 +156,7 @@ func TestFlushLineRemovesEverywhere(t *testing.T) {
 
 func TestCoherenceInvalidateOnRemoteWrite(t *testing.T) {
 	img := mem.NewImage()
-	h := NewHierarchy(HierConfig{
+	h, err := NewHierarchy(HierConfig{
 		Cores:     2,
 		L1ISizeKB: 32, L1IWays: 2, L1ILatency: 1,
 		L1DSizeKB: 32, L1DWays: 2, L1DLatency: 2,
@@ -161,6 +164,9 @@ func TestCoherenceInvalidateOnRemoteWrite(t *testing.T) {
 		LineBytes: 64, LFBEntries: 16, MSHRs: 8, GhostSize: 32, LoadPorts: 2,
 		DRAM: mem.DRAMConfig{Latency: 100, BurstCycles: 4, TagBurst: 1},
 	}, img)
+	if err != nil {
+		t.Fatal(err)
+	}
 	addr := uint64(0x90000)
 	// Both cores read the line (shared).
 	r0 := h.Access(AccessReq{Core: 0, Ptr: addr, Size: 8, Now: 0})
@@ -239,7 +245,7 @@ func TestInstructionFetchPath(t *testing.T) {
 
 func TestPrefetcherFillsNextLine(t *testing.T) {
 	img := mem.NewImage()
-	h := NewHierarchy(HierConfig{
+	h, err := NewHierarchy(HierConfig{
 		Cores:     1,
 		L1ISizeKB: 32, L1IWays: 2, L1ILatency: 1,
 		L1DSizeKB: 32, L1DWays: 2, L1DLatency: 2,
@@ -248,6 +254,9 @@ func TestPrefetcherFillsNextLine(t *testing.T) {
 		DRAM:         mem.DRAMConfig{Latency: 100, BurstCycles: 4, TagBurst: 1},
 		PrefetcherOn: true,
 	}, img)
+	if err != nil {
+		t.Fatal(err)
+	}
 	addr := uint64(0x10000)
 	r := h.Access(AccessReq{Core: 0, Ptr: addr, Size: 8, Now: 0})
 	if h.Prefetches != 1 {
@@ -262,7 +271,7 @@ func TestPrefetcherFillsNextLine(t *testing.T) {
 
 func TestCheckedPrefetcherStopsAtTagBoundary(t *testing.T) {
 	img := mem.NewImage()
-	h := NewHierarchy(HierConfig{
+	h, err := NewHierarchy(HierConfig{
 		Cores:     1,
 		L1ISizeKB: 32, L1IWays: 2, L1ILatency: 1,
 		L1DSizeKB: 32, L1DWays: 2, L1DLatency: 2,
@@ -272,6 +281,9 @@ func TestCheckedPrefetcherStopsAtTagBoundary(t *testing.T) {
 		MTEOn: true, LFBTagging: true,
 		PrefetcherOn: true, PrefetchChecked: true,
 	}, img)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Attacker's line tagged A; the adjacent secret line tagged B.
 	attacker := uint64(0x20000)
 	img.Tags.SetRange(attacker, 64, 0xa)

@@ -178,6 +178,18 @@ type Core struct {
 	// The spectre_v1_demo example uses it to print the Figure 5 walkthrough.
 	TraceFn func(format string, args ...any)
 
+	// ChaosBranchDelay, when set, returns extra cycles added to a branch's
+	// issue-to-resolve latency (delayed-resolution fault injection; widens
+	// the speculative window without changing the resolved outcome).
+	ChaosBranchDelay func(pc uint64) uint64
+
+	// lastCommitCycle is the cycle of the most recent commit — the
+	// watchdog's progress signal.
+	lastCommitCycle uint64
+
+	// wedged freezes the commit stage (watchdog test injection).
+	wedged bool
+
 	// candidates holds potential leak events keyed by instruction seq;
 	// promoted to the oracle when the instruction is squashed.
 	candidates map[uint64][]core.LeakEvent
@@ -447,3 +459,37 @@ func (c *Core) Predictor() *branch.Predictor { return c.pred }
 // SetPredictor wires the branch predictor (done by the Machine so tests can
 // substitute pre-trained state).
 func (c *Core) SetPredictor(p *branch.Predictor) { c.pred = p }
+
+// LastCommitCycle returns the cycle of the core's most recent commit.
+func (c *Core) LastCommitCycle() uint64 { return c.lastCommitCycle }
+
+// InjectWedge freezes the commit stage: the core keeps fetching and
+// executing but never commits again. Watchdog tests use it to model a hung
+// pipeline without depending on a real deadlock bug.
+func (c *Core) InjectWedge() { c.wedged = true }
+
+// ChaosFlush squashes every instruction younger than the ROB head and
+// redirects fetch to the head's architectural successor — an external
+// pipeline flush (squash-storm fault injection). The flush is refused
+// (returns false) when it cannot be applied safely this cycle: empty ROB,
+// or a head that is an unresolved branch or a pending fault, where the
+// architectural next PC is not yet known.
+func (c *Core) ChaosFlush() bool {
+	if c.Halted || c.Faulted || c.robCount() == 0 {
+		return false
+	}
+	e := c.entry(c.headSeq)
+	if e == nil || e.fault {
+		return false
+	}
+	target := e.pc + isa.InstBytes
+	if e.isBranch {
+		if !e.brResolved {
+			return false
+		}
+		target = e.actualNext
+	}
+	c.squashAfter(e.seq, target)
+	c.Stats.Inc("chaos_flushes")
+	return true
+}

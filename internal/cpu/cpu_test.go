@@ -362,7 +362,7 @@ counter:
 	if res.TimedOut {
 		t.Fatalf("timed out: %v", res)
 	}
-	if got := m.Img.ReadU64(prog.Label("counter")); got != 200 {
+	if got := m.Img.ReadU64(prog.MustLabel("counter")); got != 200 {
 		t.Fatalf("counter = %d, want 200", got)
 	}
 }

@@ -63,6 +63,14 @@ type Machine struct {
 	Cores  []*Core
 	Oracle *core.Oracle
 
+	// PerCycle, when set, runs after every Step — the chaos injector's
+	// per-cycle driver hook.
+	PerCycle func(cycle uint64)
+
+	// Watchdog guards Run against wedged pipelines; nil disables it.
+	// NewMachine installs one with default thresholds.
+	Watchdog *Watchdog
+
 	cycle uint64
 }
 
@@ -76,7 +84,7 @@ func NewMachine(cfg core.Config, mit core.Mitigation, prog *asm.Program) (*Machi
 	img := mem.NewImage()
 	img.LoadProgram(prog)
 	oracle := core.NewOracle()
-	hier := cache.NewHierarchy(cache.HierConfig{
+	hier, err := cache.NewHierarchy(cache.HierConfig{
 		Cores:     cfg.Cores,
 		L1ISizeKB: cfg.L1ISizeKB, L1IWays: cfg.L1IWays, L1ILatency: cfg.L1ILatency,
 		L1DSizeKB: cfg.L1DSizeKB, L1DWays: cfg.L1DWays, L1DLatency: cfg.L1DLatency,
@@ -89,6 +97,9 @@ func NewMachine(cfg core.Config, mit core.Mitigation, prog *asm.Program) (*Machi
 		PrefetcherOn:    cfg.PrefetcherOn,
 		PrefetchChecked: cfg.PrefetchChecked && mit.SpecTagChecks(),
 	}, img)
+	if err != nil {
+		return nil, err
+	}
 
 	// Prefetches of secret-holding lines are observable state changes the
 	// attacker can induce — the §6 prefetcher channel.
@@ -101,12 +112,17 @@ func NewMachine(cfg core.Config, mit core.Mitigation, prog *asm.Program) (*Machi
 	m := &Machine{Cfg: cfg, Mit: mit, Img: img, Hier: hier, Oracle: oracle}
 	for i := 0; i < cfg.Cores; i++ {
 		c := NewCore(i, &m.Cfg, mit, prog, hier, img, oracle, TagSeedBase+uint64(i))
-		c.SetPredictor(branch.New(branch.Config{
+		pred, err := branch.New(branch.Config{
 			PHTBits: cfg.PHTBits, BTBSize: cfg.BTBSize,
 			RSBDepth: cfg.RSBDepth, BHBLen: cfg.BHBLen,
-		}))
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.SetPredictor(pred)
 		m.Cores = append(m.Cores, c)
 	}
+	m.Watchdog = NewWatchdog(cfg.Cores)
 	return m, nil
 }
 
@@ -129,28 +145,80 @@ func (m *Machine) Step() {
 	for _, c := range m.Cores {
 		c.Tick()
 	}
+	if m.PerCycle != nil {
+		m.PerCycle(m.cycle)
+	}
 }
 
-// RunResult summarises a completed (or timed-out) run.
+// CoreStatus is one core's condition at the end of a run.
+type CoreStatus struct {
+	Halted    bool
+	Faulted   bool
+	FaultPC   uint64
+	TimedOut  bool // still running when the cycle budget ran out
+	Committed uint64
+	// LastCommit is the cycle of the core's most recent commit (0 if it
+	// never committed) — the stall diagnostic for timed-out cores.
+	LastCommit uint64
+}
+
+// RunResult summarises a completed (or timed-out, or wedged) run.
 type RunResult struct {
 	Cycles    uint64
 	Committed uint64 // total across cores
 	TimedOut  bool
 	Faulted   bool
 	FaultCore int
-	Stats     *stats.Set // merged core stats
+	// CoreStatuses reports each core's end state, so a timeout names the
+	// cores that were still running rather than just a machine-wide bool.
+	CoreStatuses []CoreStatus
+	// Err is set when the watchdog stopped the run: a commit-progress stall
+	// or a broken ROB/LSQ invariant, with a pipeview snapshot attached.
+	Err   *SimError
+	Stats *stats.Set // merged core stats
 }
 
-// Run executes until every core halts or maxCycles elapse.
+// TimedOutCores lists the indices of cores that were still running at the
+// end of a timed-out run.
+func (r *RunResult) TimedOutCores() []int {
+	var out []int
+	for i := range r.CoreStatuses {
+		if r.CoreStatuses[i].TimedOut {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Run executes until every core halts or maxCycles elapse. A non-nil
+// machine watchdog additionally stops the run when a core wedges (no commit
+// progress) or breaks a pipeline invariant, reporting it in RunResult.Err.
 func (m *Machine) Run(maxCycles uint64) *RunResult {
+	var simErr *SimError
 	for m.cycle < maxCycles && !m.Done() {
 		m.Step()
+		if m.Watchdog != nil {
+			if simErr = m.Watchdog.Check(m); simErr != nil {
+				break
+			}
+		}
 	}
-	res := &RunResult{Cycles: m.cycle, TimedOut: !m.Done(), FaultCore: -1}
+	res := &RunResult{Cycles: m.cycle, TimedOut: !m.Done(), FaultCore: -1, Err: simErr}
+	if simErr != nil {
+		res.TimedOut = false // the watchdog verdict supersedes the budget
+	}
 	res.Stats = stats.NewSet("machine")
 	for i, c := range m.Cores {
 		res.Committed += c.Committed()
 		res.Stats.Merge(c.Stats)
+		res.CoreStatuses = append(res.CoreStatuses, CoreStatus{
+			Halted:     c.Halted,
+			Faulted:    c.Faulted,
+			FaultPC:    c.FaultPC,
+			TimedOut:   res.TimedOut && !c.Halted && !c.Faulted,
+			Committed:  c.Committed(),
+			LastCommit: c.lastCommitCycle,
+		})
 		if c.Faulted {
 			res.Faulted = true
 			if res.FaultCore < 0 {
@@ -174,6 +242,13 @@ func (r *RunResult) IPC() float64 {
 
 // String summarises the run.
 func (r *RunResult) String() string {
-	return fmt.Sprintf("run{cycles=%d committed=%d ipc=%.2f timedOut=%v faulted=%v}",
+	s := fmt.Sprintf("run{cycles=%d committed=%d ipc=%.2f timedOut=%v faulted=%v",
 		r.Cycles, r.Committed, r.IPC(), r.TimedOut, r.Faulted)
+	if cores := r.TimedOutCores(); len(cores) > 0 {
+		s += fmt.Sprintf(" timedOutCores=%v", cores)
+	}
+	if r.Err != nil {
+		s += fmt.Sprintf(" simError=%s", r.Err.Kind)
+	}
+	return s + "}"
 }

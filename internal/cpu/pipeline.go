@@ -449,6 +449,9 @@ func (c *Core) startExecution(e *robEntry) {
 		}
 		e.state = stExecuting
 		e.doneAt = c.cycle + uint64(c.cfg.BranchLat)
+		if c.ChaosBranchDelay != nil {
+			e.doneAt += c.ChaosBranchDelay(e.pc)
+		}
 		c.brFree = c.cycle + 1
 		if e.secret && trans {
 			// A branch consuming secret data perturbs fetch/execute timing.
@@ -631,6 +634,9 @@ func (c *Core) releaseEntry(e *robEntry, squashed bool) {
 // --------------------------------------------------------------- commit --
 
 func (c *Core) commit() {
+	if c.wedged {
+		return // injected commit-stage freeze (watchdog tests)
+	}
 	for n := 0; n < c.cfg.CommitWidth; n++ {
 		if c.robCount() == 0 {
 			return
@@ -660,6 +666,7 @@ func (c *Core) commit() {
 		c.dropCandidates(e.seq)
 		c.releaseEntry(e, false)
 		c.headSeq++
+		c.lastCommitCycle = c.cycle
 		c.Stats.Inc("commits")
 		if e.policyDelayed {
 			c.Stats.Inc("restricted_commits")

@@ -240,7 +240,7 @@ array1:
 		t.Fatal(err)
 	}
 	m.Img.Tags.SetRange(0x100000, 16, 0xa)
-	m.Core(0).FaultHandler = prog.Label("handler")
+	m.Core(0).FaultHandler = prog.MustLabel("handler")
 	res := m.Run(1_000_000)
 	if res.Faulted {
 		t.Fatal("handler must absorb the fault")

@@ -1,0 +1,179 @@
+package cpu
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SimError is a structured simulation failure: a wedged pipeline or a broken
+// microarchitectural invariant, caught by the watchdog before it would burn
+// the whole MaxCycles budget. It carries a pipeview-style snapshot of the
+// stuck window so the failure is debuggable from the report alone.
+type SimError struct {
+	Kind     string // "commit-stall", "rob-invariant", "lsq-invariant"
+	Core     int
+	Cycle    uint64
+	Detail   string
+	Snapshot string // rendering of the core's in-flight window
+}
+
+// Error implements the error interface.
+func (e *SimError) Error() string {
+	return fmt.Sprintf("sim error on core %d at cycle %d: %s: %s",
+		e.Core, e.Cycle, e.Kind, e.Detail)
+}
+
+// DefaultStallCycles is the no-commit-progress threshold. The longest
+// legitimate commit-to-commit gap in the Table 2 configuration is a few
+// hundred cycles (a DRAM miss chain at the ROB head), so fifty thousand
+// cycles without a single head advance is a hang, not a slow run.
+const DefaultStallCycles = 50_000
+
+// defaultCheckEvery spaces watchdog scans; invariant checks walk the ROB,
+// so running them every cycle would dominate simulation time.
+const defaultCheckEvery = 1024
+
+// Watchdog monitors a machine's cores for commit-progress stalls and
+// ROB/LSQ bookkeeping violations during Machine.Run.
+type Watchdog struct {
+	// StallCycles is how long a core may go without advancing its ROB head
+	// before the run is declared wedged.
+	StallCycles uint64
+	// CheckEvery is the cycle interval between scans.
+	CheckEvery uint64
+
+	lastHead   []uint64 // per-core headSeq at the previous scan
+	lastChange []uint64 // per-core cycle of the last observed head advance
+}
+
+// NewWatchdog returns a watchdog for a machine with the given core count,
+// using the default thresholds.
+func NewWatchdog(cores int) *Watchdog {
+	return &Watchdog{
+		StallCycles: DefaultStallCycles,
+		CheckEvery:  defaultCheckEvery,
+		lastHead:    make([]uint64, cores),
+		lastChange:  make([]uint64, cores),
+	}
+}
+
+// Check scans every live core and returns a SimError if one has stalled or
+// broken a pipeline invariant. It is cheap on non-scan cycles.
+func (w *Watchdog) Check(m *Machine) *SimError {
+	if w.CheckEvery == 0 || m.cycle%w.CheckEvery != 0 {
+		return nil
+	}
+	for i, c := range m.Cores {
+		if c.Halted || c.Faulted {
+			continue
+		}
+		if kind, detail := c.checkInvariants(); kind != "" {
+			return &SimError{
+				Kind: kind, Core: i, Cycle: m.cycle, Detail: detail,
+				Snapshot: c.StallSnapshot(),
+			}
+		}
+		if c.headSeq != w.lastHead[i] {
+			w.lastHead[i] = c.headSeq
+			w.lastChange[i] = m.cycle
+			continue
+		}
+		if m.cycle-w.lastChange[i] > w.StallCycles {
+			return &SimError{
+				Kind: "commit-stall", Core: i, Cycle: m.cycle,
+				Detail: fmt.Sprintf("no commit progress for %d cycles (head seq %d, %d in flight, last commit at cycle %d)",
+					m.cycle-w.lastChange[i], c.headSeq, c.robCount(), c.lastCommitCycle),
+				Snapshot: c.StallSnapshot(),
+			}
+		}
+	}
+	return nil
+}
+
+// checkInvariants validates the core's ROB/LSQ bookkeeping: sequence
+// ordering, capacity bounds, and the queue counters against a recount of
+// the in-flight window. A mismatch means the pipeline's free-list/counter
+// state has corrupted — the class of bug that otherwise shows up as an
+// unexplainable deadlock thousands of cycles later.
+func (c *Core) checkInvariants() (kind, detail string) {
+	if c.nextSeq < c.headSeq {
+		return "rob-invariant", fmt.Sprintf("nextSeq %d behind headSeq %d", c.nextSeq, c.headSeq)
+	}
+	if c.robCount() > len(c.rob) {
+		return "rob-invariant", fmt.Sprintf("%d in flight exceeds %d ROB entries", c.robCount(), len(c.rob))
+	}
+	iq, lq, sq := 0, 0, 0
+	for s := c.headSeq; s < c.nextSeq; s++ {
+		e := &c.rob[s%uint64(len(c.rob))]
+		if !e.valid {
+			continue
+		}
+		if e.seq != s {
+			return "rob-invariant", fmt.Sprintf("entry at slot %d holds seq %d, want %d",
+				s%uint64(len(c.rob)), e.seq, s)
+		}
+		if e.state == stDispatched {
+			iq++
+		}
+		if e.isLoad {
+			lq++
+		}
+		if e.isStore {
+			sq++
+		}
+	}
+	if iq != c.iqCount {
+		return "lsq-invariant", fmt.Sprintf("IQ counter %d, recount %d", c.iqCount, iq)
+	}
+	if lq != c.lqCount || c.lqCount > c.cfg.LQEntries {
+		return "lsq-invariant", fmt.Sprintf("LQ counter %d (cap %d), recount %d", c.lqCount, c.cfg.LQEntries, lq)
+	}
+	if sq != c.sqCount || c.sqCount > c.cfg.SQEntries {
+		return "lsq-invariant", fmt.Sprintf("SQ counter %d (cap %d), recount %d", c.sqCount, c.cfg.SQEntries, sq)
+	}
+	return "", ""
+}
+
+var stateNames = map[entryState]string{
+	stDispatched: "dispatched",
+	stExecuting:  "executing",
+	stWaitMem:    "wait-mem",
+	stWaitUnsafe: "wait-unsafe",
+	stDone:       "done",
+}
+
+// StallSnapshot renders the core's current in-flight window in pipeview
+// style: front-end state, queue occupancy, and one line per ROB entry from
+// head to tail. Unlike the Recorder it needs no prior attachment, so it can
+// capture a pipeline that wedged before anyone thought to record it.
+func (c *Core) StallSnapshot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "core %d @cycle %d: fetchPC=%#x stallTo=%d blockedBy=%d fetchQ=%d\n",
+		c.ID, c.cycle, c.fetchPC, c.fetchStallTo, c.fetchBlockedBy, len(c.fetchQ))
+	fmt.Fprintf(&b, "  rob head=%d next=%d inflight=%d iq=%d lq=%d sq=%d lastCommit=%d\n",
+		c.headSeq, c.nextSeq, c.robCount(), c.iqCount, c.lqCount, c.sqCount, c.lastCommitCycle)
+	const maxLines = 48
+	n := 0
+	for s := c.headSeq; s < c.nextSeq; s++ {
+		if n >= maxLines {
+			fmt.Fprintf(&b, "  ... %d more\n", c.nextSeq-s)
+			break
+		}
+		e := &c.rob[s%uint64(len(c.rob))]
+		if !e.valid {
+			fmt.Fprintf(&b, "  seq=%-6d <invalid>\n", s)
+			n++
+			continue
+		}
+		fmt.Fprintf(&b, "  seq=%-6d pc=%#-10x %-11s doneAt=%-8d %v", e.seq, e.pc, stateNames[e.state], e.doneAt, e.inst)
+		if e.isBranch {
+			fmt.Fprintf(&b, " [branch resolved=%v]", e.brResolved)
+		}
+		if e.isLoad || e.isStore {
+			fmt.Fprintf(&b, " [mem addrReady=%v issued=%v]", e.addrReady, e.memIssued)
+		}
+		b.WriteByte('\n')
+		n++
+	}
+	return b.String()
+}

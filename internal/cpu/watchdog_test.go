@@ -1,0 +1,149 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+
+	"specasan/internal/asm"
+	"specasan/internal/core"
+)
+
+func wedgeProg(t *testing.T) *asm.Program {
+	t.Helper()
+	prog, err := asm.Assemble(`
+_start:
+    MOV  X1, #0
+loop:
+    ADD  X1, X1, #1
+    CMP  X1, #100000000
+    B.LT loop
+    SVC  #0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// A commit-stage freeze must be caught by the watchdog as a structured
+// SimError carrying a pipeview snapshot — not burn the MaxCycles budget and
+// report an anonymous timeout.
+func TestWatchdogCatchesWedgedPipeline(t *testing.T) {
+	m, err := NewMachine(core.DefaultConfig(), core.Unsafe, wedgeProg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Watchdog.StallCycles = 2000 // keep the test fast
+	m.Core(0).InjectWedge()
+	res := m.Run(50_000_000)
+	if res.Err == nil {
+		t.Fatalf("wedged pipeline not caught: %v", res)
+	}
+	if res.Err.Kind != "commit-stall" || res.Err.Core != 0 {
+		t.Fatalf("wrong verdict: %v", res.Err)
+	}
+	if res.TimedOut {
+		t.Fatal("watchdog verdict should supersede the timeout flag")
+	}
+	if res.Cycles > 1_000_000 {
+		t.Fatalf("watchdog fired only after %d cycles", res.Cycles)
+	}
+	if !strings.Contains(res.Err.Snapshot, "rob head=") ||
+		!strings.Contains(res.Err.Snapshot, "seq=") {
+		t.Fatalf("snapshot missing pipeline state:\n%s", res.Err.Snapshot)
+	}
+	if !strings.Contains(res.Err.Error(), "commit-stall") {
+		t.Fatalf("Error() = %q", res.Err.Error())
+	}
+}
+
+// Corrupted LSQ bookkeeping (here: a leaked IQ slot) must be caught as an
+// invariant violation rather than surfacing later as a mystery deadlock.
+func TestWatchdogCatchesCounterCorruption(t *testing.T) {
+	m, err := NewMachine(core.DefaultConfig(), core.Unsafe, wedgeProg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Watchdog.CheckEvery = 64
+	wedged := false
+	m.PerCycle = func(cycle uint64) {
+		if cycle == 1000 && !wedged {
+			m.Core(0).iqCount += 3 // simulate a counter leak
+			wedged = true
+		}
+	}
+	res := m.Run(1_000_000)
+	if res.Err == nil || res.Err.Kind != "lsq-invariant" {
+		t.Fatalf("counter corruption not caught: %v", res)
+	}
+}
+
+// A healthy run must pass under the watchdog without a verdict.
+func TestWatchdogQuietOnHealthyRun(t *testing.T) {
+	prog, err := asm.Assemble(`
+_start:
+    MOV  X1, #0
+loop:
+    ADD  X1, X1, #1
+    CMP  X1, #2000
+    B.LT loop
+    SVC  #0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(core.DefaultConfig(), core.SpecASan, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run(10_000_000)
+	if res.Err != nil {
+		t.Fatalf("false positive: %v\n%s", res.Err, res.Err.Snapshot)
+	}
+	if res.TimedOut || res.Faulted {
+		t.Fatalf("run did not complete: %v", res)
+	}
+	if len(res.CoreStatuses) != 1 || !res.CoreStatuses[0].Halted {
+		t.Fatalf("core status wrong: %+v", res.CoreStatuses)
+	}
+}
+
+// A timed-out multicore run must name the cores that were still running.
+func TestRunReportsTimedOutCores(t *testing.T) {
+	// X0 = thread id: core 0 exits immediately, core 1 spins forever.
+	prog, err := asm.Assemble(`
+_start:
+    CBZ  X0, done
+spin:
+    B    spin
+done:
+    SVC  #0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Cores = 2
+	m, err := NewMachine(cfg, core.Unsafe, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Core(1).SetReg(1, 1) // X1 unused; ids come via X0
+	m.Core(0).SetReg(0, 0)
+	m.Core(1).SetReg(0, 1)
+	m.Watchdog = nil // the spin loop commits forever; let the budget end it
+	res := m.Run(20_000)
+	if !res.TimedOut {
+		t.Fatalf("expected timeout: %v", res)
+	}
+	cores := res.TimedOutCores()
+	if len(cores) != 1 || cores[0] != 1 {
+		t.Fatalf("TimedOutCores = %v, want [1]", cores)
+	}
+	if !res.CoreStatuses[0].Halted || res.CoreStatuses[1].TimedOut != true {
+		t.Fatalf("statuses: %+v", res.CoreStatuses)
+	}
+	if !strings.Contains(res.String(), "timedOutCores=[1]") {
+		t.Fatalf("String() = %q", res.String())
+	}
+}

@@ -374,7 +374,7 @@ cell:
 	if res.Reason != StopExit {
 		t.Fatal(res.Reason)
 	}
-	if got := ip1.Mem.ReadU64(prog.Label("cell")); got != 2 {
+	if got := ip1.Mem.ReadU64(prog.MustLabel("cell")); got != 2 {
 		t.Fatalf("shared image cell = %d, want 2", got)
 	}
 }

@@ -4,6 +4,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -16,6 +17,11 @@ import (
 	"specasan/internal/stats"
 	"specasan/internal/workloads"
 )
+
+// ErrTimedOut marks a benchmark run that exhausted its cycle budget.
+// RunSweep retries these once with an escalated budget; match with
+// errors.Is.
+var ErrTimedOut = errors.New("cycle budget exhausted")
 
 // Options tunes experiment cost.
 type Options struct {
@@ -67,13 +73,18 @@ func RunBenchmark(spec *workloads.Spec, mit core.Mitigation, opt Options) (*Perf
 		m.Core(i).SetReg(isa.X0, uint64(i))
 	}
 	res := m.Run(opt.MaxCycles)
+	if res.Err != nil {
+		// Watchdog verdict: a wedged pipeline or broken invariant. Not
+		// retryable — surface the structured error with its snapshot.
+		return nil, fmt.Errorf("%s under %v: %w", spec.Name, mit, res.Err)
+	}
 	if res.TimedOut {
-		return nil, fmt.Errorf("%s under %v timed out after %d cycles",
-			spec.Name, mit, res.Cycles)
+		return nil, fmt.Errorf("%s under %v: %w after %d cycles (cores %v still running)",
+			spec.Name, mit, ErrTimedOut, res.Cycles, res.TimedOutCores())
 	}
 	if res.Faulted {
-		return nil, fmt.Errorf("%s under %v faulted at %#x",
-			spec.Name, mit, m.Core(res.FaultCore).FaultPC)
+		return nil, fmt.Errorf("%s under %v faulted at %#x (core %d)",
+			spec.Name, mit, m.Core(res.FaultCore).FaultPC, res.FaultCore)
 	}
 	opt.logf("  %-18s %-12s cycles=%-10d ipc=%.2f restricted=%d",
 		spec.Name, mit, res.Cycles, res.IPC(), res.Stats.Get("restricted_commits"))
@@ -88,29 +99,77 @@ func RunBenchmark(spec *workloads.Spec, mit core.Mitigation, opt Options) (*Perf
 }
 
 // Sweep holds the results of one figure's parameter sweep, organised as
-// benchmark x mitigation.
+// benchmark x mitigation. Cells that failed to run are absent from Results
+// and recorded in Errors instead; the formatters render them as "failed" and
+// the aggregates skip them.
 type Sweep struct {
 	Benchmarks  []string
 	Mitigations []core.Mitigation
 	Results     map[string]map[core.Mitigation]*PerfResult
+	Errors      map[string]map[core.Mitigation]error
 }
 
-// RunSweep executes every benchmark under every mitigation.
+// Err returns the recorded failure for (bench, mit), nil if the cell ran.
+func (s *Sweep) Err(bench string, mit core.Mitigation) error {
+	return s.Errors[bench][mit]
+}
+
+// FailedCells lists every failed cell as "bench/mitigation: error", in table
+// order.
+func (s *Sweep) FailedCells() []string {
+	var out []string
+	for _, b := range s.Benchmarks {
+		for _, m := range s.Mitigations {
+			if err := s.Errors[b][m]; err != nil {
+				out = append(out, fmt.Sprintf("%s/%v: %v", b, m, err))
+			}
+		}
+	}
+	return out
+}
+
+// timeoutRetryFactor scales MaxCycles for the single retry a timed-out cell
+// gets before it is declared failed.
+const timeoutRetryFactor = 4
+
+// RunSweep executes every benchmark under every mitigation. It degrades
+// gracefully: a cell that fails is recorded in Sweep.Errors and the sweep
+// continues, so one wedged benchmark costs one table cell, not the whole
+// figure. Timed-out cells are retried once with a MaxCycles budget escalated
+// by timeoutRetryFactor (slow-but-finite runs recover; true hangs fail
+// twice). The returned error is non-nil only when every cell failed.
 func RunSweep(specs []*workloads.Spec, mits []core.Mitigation, opt Options) (*Sweep, error) {
 	sw := &Sweep{
 		Mitigations: mits,
 		Results:     make(map[string]map[core.Mitigation]*PerfResult),
+		Errors:      make(map[string]map[core.Mitigation]error),
 	}
+	ran := 0
 	for _, spec := range specs {
 		sw.Benchmarks = append(sw.Benchmarks, spec.Name)
 		sw.Results[spec.Name] = make(map[core.Mitigation]*PerfResult)
+		sw.Errors[spec.Name] = make(map[core.Mitigation]error)
 		for _, mit := range mits {
 			r, err := RunBenchmark(spec, mit, opt)
-			if err != nil {
-				return nil, err
+			if err != nil && errors.Is(err, ErrTimedOut) {
+				retry := opt
+				retry.MaxCycles = opt.MaxCycles * timeoutRetryFactor
+				opt.logf("  %-18s %-12s timed out; retrying with %d-cycle budget",
+					spec.Name, mit, retry.MaxCycles)
+				r, err = RunBenchmark(spec, mit, retry)
 			}
+			if err != nil {
+				opt.logf("  %-18s %-12s FAILED: %v", spec.Name, mit, err)
+				sw.Errors[spec.Name][mit] = err
+				continue
+			}
+			ran++
 			sw.Results[spec.Name][mit] = r
 		}
+	}
+	if ran == 0 && len(specs) > 0 && len(mits) > 0 {
+		return sw, fmt.Errorf("sweep: all %d cells failed (first: %v)",
+			len(specs)*len(mits), sw.Errors[specs[0].Name][mits[0]])
 	}
 	return sw, nil
 }
@@ -137,20 +196,26 @@ func (s *Sweep) RestrictedPct(bench string, mit core.Mitigation) float64 {
 }
 
 // GeomeanNormalized returns the geometric-mean normalized execution time of
-// a mitigation across the sweep.
+// a mitigation across the sweep's successfully-run benchmarks (failed cells
+// — either the mitigation's run or its Unsafe baseline — are excluded).
 func (s *Sweep) GeomeanNormalized(mit core.Mitigation) float64 {
 	var xs []float64
 	for _, b := range s.Benchmarks {
-		xs = append(xs, s.Normalized(b, mit))
+		if x := s.Normalized(b, mit); x > 0 {
+			xs = append(xs, x)
+		}
 	}
 	return stats.Geomean(xs)
 }
 
 // MeanRestrictedPct returns the average restricted-instruction percentage of
-// a mitigation across the sweep.
+// a mitigation across the sweep's successfully-run benchmarks.
 func (s *Sweep) MeanRestrictedPct(mit core.Mitigation) float64 {
 	var xs []float64
 	for _, b := range s.Benchmarks {
+		if s.Results[b][mit] == nil {
+			continue
+		}
 		xs = append(xs, s.RestrictedPct(b, mit))
 	}
 	return stats.Mean(xs)
@@ -176,6 +241,10 @@ func (s *Sweep) FormatNormalized(title string) string {
 			if m == core.Unsafe {
 				continue
 			}
+			if s.Results[bench][m] == nil || s.Results[bench][core.Unsafe] == nil {
+				fmt.Fprintf(&b, " %12s", "failed")
+				continue
+			}
 			fmt.Fprintf(&b, " %12.3f", s.Normalized(bench, m))
 		}
 		b.WriteByte('\n')
@@ -188,7 +257,20 @@ func (s *Sweep) FormatNormalized(title string) string {
 		fmt.Fprintf(&b, " %12.3f", s.GeomeanNormalized(m))
 	}
 	b.WriteByte('\n')
+	s.appendFailures(&b)
 	return b.String()
+}
+
+// appendFailures footnotes the failed cells under a formatted table.
+func (s *Sweep) appendFailures(b *strings.Builder) {
+	fails := s.FailedCells()
+	if len(fails) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "failed cells (excluded from aggregates):\n")
+	for _, f := range fails {
+		fmt.Fprintf(b, "  %s\n", f)
+	}
 }
 
 // FormatRestricted renders the Figure 8 restricted-instruction table.
@@ -209,6 +291,10 @@ func (s *Sweep) FormatRestricted(title string) string {
 			if m == core.Unsafe {
 				continue
 			}
+			if s.Results[bench][m] == nil {
+				fmt.Fprintf(&b, " %12s", "failed")
+				continue
+			}
 			fmt.Fprintf(&b, " %11.2f%%", s.RestrictedPct(bench, m))
 		}
 		b.WriteByte('\n')
@@ -221,6 +307,7 @@ func (s *Sweep) FormatRestricted(title string) string {
 		fmt.Fprintf(&b, " %11.2f%%", s.MeanRestrictedPct(m))
 	}
 	b.WriteByte('\n')
+	s.appendFailures(&b)
 	return b.String()
 }
 

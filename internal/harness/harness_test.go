@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -106,7 +107,139 @@ func TestPARSECSweepSmoke(t *testing.T) {
 func TestRunBenchmarkRejectsUnknownTimeout(t *testing.T) {
 	opt := smallOpts()
 	opt.MaxCycles = 10 // absurdly small: must report a timeout error
-	if _, err := RunBenchmark(workloads.ByName("508.namd_r"), core.Unsafe, opt); err == nil {
+	_, err := RunBenchmark(workloads.ByName("508.namd_r"), core.Unsafe, opt)
+	if err == nil {
 		t.Fatal("expected timeout error")
+	}
+	if !errors.Is(err, ErrTimedOut) {
+		t.Fatalf("timeout not marked ErrTimedOut: %v", err)
+	}
+}
+
+// spinSpec never halts: it times out under any finite budget, including the
+// sweep's escalated retry.
+func spinSpec() *workloads.Spec {
+	return &workloads.Spec{Name: "spin", Suite: "test", Threads: 1, Source: `
+_start:
+spin:
+    B spin
+`}
+}
+
+// faultSpec commits an MTE tag-check fault under tag-enforcing mitigations:
+// it locks a granule with key 3 and then loads it through an untagged
+// pointer.
+func faultSpec() *workloads.Spec {
+	return &workloads.Spec{Name: "fault", Suite: "test", Threads: 1, Source: `
+_start:
+    MOV  X1, #2097152
+    ADDG X1, X1, #0, #3
+    STG  X1, [X1]
+    MOV  X3, #2097152
+    LDR  X4, [X3]
+    SVC  #0
+`}
+}
+
+func TestRunBenchmarkReportsTimedOutCores(t *testing.T) {
+	opt := smallOpts()
+	opt.MaxCycles = 20_000
+	_, err := RunBenchmark(spinSpec(), core.Unsafe, opt)
+	if err == nil || !errors.Is(err, ErrTimedOut) {
+		t.Fatalf("want ErrTimedOut, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "cores [0]") {
+		t.Fatalf("timeout error does not name the stuck cores: %v", err)
+	}
+}
+
+func TestRunBenchmarkReportsFault(t *testing.T) {
+	_, err := RunBenchmark(faultSpec(), core.SpecASan, smallOpts())
+	if err == nil || !strings.Contains(err.Error(), "faulted") {
+		t.Fatalf("want fault error, got %v", err)
+	}
+	// The same kernel is clean when MTE is off: the sweep test below relies
+	// on the fault being mitigation-dependent.
+	if _, err := RunBenchmark(faultSpec(), core.Unsafe, smallOpts()); err != nil {
+		t.Fatalf("untagged run should pass: %v", err)
+	}
+}
+
+// One failing benchmark must cost its own cells, not the sweep: the sweep
+// completes, healthy cells carry results, failed cells carry errors, and the
+// formatted tables render the partial data with a failure footnote.
+func TestSweepSurvivesFailingBenchmarks(t *testing.T) {
+	specs := []*workloads.Spec{
+		workloads.ByName("511.povray_r"),
+		spinSpec(),
+		faultSpec(),
+	}
+	opt := smallOpts()
+	opt.MaxCycles = 50_000 // povray at Scale .02 fits; spin cannot
+	mits := []core.Mitigation{core.Unsafe, core.SpecASan}
+	sw, err := RunSweep(specs, mits, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Results["511.povray_r"][core.SpecASan] == nil {
+		t.Fatalf("healthy cell missing: %v", sw.FailedCells())
+	}
+	if sw.Err("spin", core.Unsafe) == nil || !errors.Is(sw.Err("spin", core.SpecASan), ErrTimedOut) {
+		t.Fatalf("spin cells not recorded as timeouts: %v", sw.FailedCells())
+	}
+	if sw.Err("fault", core.SpecASan) == nil {
+		t.Fatal("fault/SpecASan cell not recorded as failed")
+	}
+	if sw.Err("fault", core.Unsafe) != nil {
+		t.Fatalf("fault kernel is clean without MTE: %v", sw.Err("fault", core.Unsafe))
+	}
+	if g := sw.GeomeanNormalized(core.SpecASan); g <= 0 {
+		t.Fatalf("geomean over surviving cells = %v", g)
+	}
+	out := sw.FormatNormalized("partial")
+	if !strings.Contains(out, "failed") || !strings.Contains(out, "511.povray_r") {
+		t.Fatalf("partial table not rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "failed cells (excluded from aggregates):") {
+		t.Fatalf("missing failure footnote:\n%s", out)
+	}
+	if !strings.Contains(sw.FormatRestricted("partial"), "failed") {
+		t.Fatal("restricted table missing failed markers")
+	}
+}
+
+// A timed-out cell gets exactly one retry with an escalated budget; a
+// slow-but-finite benchmark must recover on it.
+func TestSweepRetryRecoversSlowRun(t *testing.T) {
+	spec := workloads.ByName("511.povray_r")
+	opt := smallOpts()
+	// Find a budget the kernel misses but 4x recovers: run once to size it.
+	r, err := RunBenchmark(spec, core.Unsafe, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.MaxCycles = r.Cycles/2 + 1 // too small once, ample at 4x
+	sw, err := RunSweep([]*workloads.Spec{spec}, []core.Mitigation{core.Unsafe}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Err(spec.Name, core.Unsafe) != nil {
+		t.Fatalf("retry did not recover: %v", sw.Err(spec.Name, core.Unsafe))
+	}
+	if sw.Results[spec.Name][core.Unsafe] == nil {
+		t.Fatal("recovered cell missing result")
+	}
+}
+
+// RunSweep returns an error only when nothing ran at all.
+func TestSweepAllCellsFailed(t *testing.T) {
+	opt := smallOpts()
+	opt.MaxCycles = 1000
+	sw, err := RunSweep([]*workloads.Spec{spinSpec()}, []core.Mitigation{core.Unsafe}, opt)
+	if err == nil {
+		t.Fatal("all-failed sweep should return an error")
+	}
+	if sw == nil || sw.Err("spin", core.Unsafe) == nil {
+		t.Fatal("partial sweep state should still be returned")
 	}
 }

@@ -13,6 +13,7 @@ package mem
 
 import (
 	"fmt"
+	"sort"
 
 	"specasan/internal/asm"
 	"specasan/internal/isa"
@@ -42,6 +43,20 @@ func (m *Image) page(addr uint64, create bool) *[pageBytes]byte {
 	}
 	return p
 }
+
+// PageAddrs returns the base address of every allocated page, sorted — the
+// iteration surface for whole-memory comparison in differential tests.
+func (m *Image) PageAddrs() []uint64 {
+	out := make([]uint64, 0, len(m.pages))
+	for pn := range m.pages {
+		out = append(out, pn*pageBytes)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PageBytes is the image's page granularity.
+const PageBytes = pageBytes
 
 // ByteAt returns the byte at the (tag-stripped) address.
 func (m *Image) ByteAt(addr uint64) byte {

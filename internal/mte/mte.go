@@ -8,6 +8,8 @@
 // caches, the line fill buffer, the store queue and the memory controller.
 package mte
 
+import "sort"
+
 // Tag is a 4-bit MTE tag value (0..15). Tag 0 is the value of untagged
 // memory and of pointers that never went through IRG/ADDG; an untagged
 // pointer therefore matches untagged memory (0 == 0) and faults on tagged
@@ -148,3 +150,21 @@ func (s *Storage) CheckAccess(ptr uint64, size int) bool {
 
 // TaggedGranules returns the number of granules carrying a non-zero lock.
 func (s *Storage) TaggedGranules() int { return len(s.locks) }
+
+// DiffGranules returns the granule indices whose locks differ between two
+// storages, sorted — the tag half of the golden-equivalence check.
+func (s *Storage) DiffGranules(o *Storage) []uint64 {
+	var out []uint64
+	for g, t := range s.locks {
+		if o.locks[g] != t {
+			out = append(out, g)
+		}
+	}
+	for g, t := range o.locks {
+		if s.locks[g] != t && s.locks[g] == 0 {
+			out = append(out, g)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

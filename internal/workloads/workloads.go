@@ -71,6 +71,11 @@ type Spec struct {
 	Suite   string // "SPEC2017" or "PARSEC"
 	Threads int
 	Params  Params
+	// Source, when non-empty, overrides the synthetic generator: Build
+	// assembles it verbatim (Params and the tagged flag are ignored). The
+	// harness error-path tests use it to plant kernels that time out or
+	// fault on demand.
+	Source string
 }
 
 // scaleIters lets the harness shrink or grow every kernel uniformly.
@@ -213,6 +218,9 @@ const heapBase = 0x200000
 // Build assembles the kernel. tagged selects MTE instrumentation; scale
 // multiplies the iteration count (1.0 = default).
 func (s *Spec) Build(tagged bool, scale float64) (*asm.Program, error) {
+	if s.Source != "" {
+		return asm.Assemble(s.Source)
+	}
 	src := Generate(s.scaled(scale), s.Threads, tagged)
 	return asm.Assemble(src)
 }
