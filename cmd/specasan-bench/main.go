@@ -6,6 +6,11 @@
 //	-fig 9   SpecCFI vs SpecASan vs SpecASan+CFI on SPEC
 //	-fig 1   defence-class timing comparison on a Spectre-v1 gadget
 //	-all     everything
+//	-perf    measure the simulator itself and write BENCH_sim.json
+//
+// Sweeps run their cells on a bounded worker pool (-workers, default
+// GOMAXPROCS); output is byte-identical to -workers=1. -cpuprofile and
+// -memprofile capture stdlib pprof profiles of the run.
 package main
 
 import (
@@ -17,20 +22,48 @@ import (
 	"specasan/internal/core"
 	"specasan/internal/cpu"
 	"specasan/internal/harness"
+	"specasan/internal/prof"
 	"specasan/internal/workloads"
 )
+
+// perfSteps is the steady-state step count behind the -perf single-core
+// measurement: long enough to amortise timer noise, short enough to finish
+// in about a second.
+const perfSteps = 500_000
 
 func main() {
 	fig := flag.Int("fig", 0, "figure to regenerate (1, 6, 7, 8, 9)")
 	all := flag.Bool("all", false, "regenerate every figure")
+	perf := flag.Bool("perf", false, "measure simulator performance and write a BENCH_sim.json report")
+	perfOut := flag.String("perf-out", "BENCH_sim.json", "where -perf writes its report")
 	scale := flag.Float64("scale", 1.0, "kernel iteration scale")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	verbose := flag.Bool("v", false, "log each run")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "specasan-bench:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "specasan-bench:", err)
+		}
+	}()
 
 	opt := harness.DefaultOptions()
 	opt.Scale = *scale
 	opt.Verbose = *verbose
 	opt.Log = os.Stderr
+	opt.Workers = *workers
+
+	if *perf {
+		runPerf(*perfOut, opt)
+		return
+	}
 
 	run := func(n int) {
 		switch n {
@@ -62,6 +95,30 @@ func main() {
 		return
 	}
 	run(*fig)
+}
+
+// runPerf measures the simulator substrate itself — steady-state single-core
+// throughput and serial-vs-parallel sweep wall time — and writes the
+// BENCH_sim.json report (format documented in README.md).
+func runPerf(path string, opt harness.Options) {
+	rep, err := harness.MeasurePerf(perfSteps, workloads.SPEC(), harness.Figure6Mitigations(), opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "specasan-bench:", err)
+		os.Exit(1)
+	}
+	if err := rep.WriteJSON(path); err != nil {
+		fmt.Fprintln(os.Stderr, "specasan-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("single core: %.0f ns/cycle, %.3f simulated MIPS, %.4f allocs/committed instr (%s)\n",
+		rep.SingleCore.HostNsPerCycle, rep.SingleCore.SimMIPS,
+		rep.SingleCore.AllocsPerCommitted, rep.SingleCore.Workload)
+	fmt.Printf("vs baseline: %.2fx (%.0f ns/cycle before)\n",
+		rep.SingleCoreSpeedup, rep.Baseline.HostNsPerCycle)
+	fmt.Printf("sweep:       %d cells in %.2fs on %d workers vs %.2fs serial (%.2fx)\n",
+		rep.Sweep.Cells, rep.Sweep.WallSeconds, rep.Sweep.Workers,
+		rep.Sweep.SerialWallSeconds, rep.Sweep.Speedup)
+	fmt.Printf("report:      %s\n", path)
 }
 
 func sweep(specs []*workloads.Spec, mits []core.Mitigation, opt harness.Options) *harness.Sweep {

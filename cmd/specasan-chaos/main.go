@@ -8,6 +8,10 @@
 // full 11-attack x 5-mitigation verdict matrix under 2 chaos seeds. Exit
 // status 1 means a divergence — a reproducible one: rerun with the printed
 // seed.
+//
+// Grid cells are independent (each run owns its machine and injector), so
+// the campaign runs on a bounded worker pool (-workers, default GOMAXPROCS);
+// output and exit status are byte-identical to -workers=1.
 package main
 
 import (
@@ -40,6 +44,7 @@ func main() {
 	maxCycles := flag.Uint64("maxcycles", 100_000_000, "cycle budget per run")
 	verdicts := flag.Bool("verdicts", true, "also check Table 1 verdict invariance under timing-safe chaos")
 	verdictSeeds := flag.Int("verdict-seeds", 2, "chaos seeds for the verdict-invariance sweep")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	verbose := flag.Bool("v", false, "log each run")
 	flag.Parse()
 
@@ -84,34 +89,44 @@ func main() {
 		kindSets = append(kindSets, kinds)
 	}
 
-	runs, injected, failures := 0, uint64(0), 0
+	var cells []chaos.CampaignCell
 	for _, spec := range specs {
 		for _, mit := range mits {
 			for _, ks := range kindSets {
 				for s := 0; s < *seeds; s++ {
-					cfg := chaos.Config{
-						Seed: *seed0 + uint64(s), Kinds: ks,
-						Rate: *rate, MaxLatency: *maxLat,
-					}
-					rep, err := chaos.RunWorkload(spec, mit, cfg, *scale, *maxCycles)
-					if err != nil {
-						fail("%s/%v: %v", spec.Name, mit, err)
-					}
-					runs++
-					injected += rep.Injected
-					if *verbose {
-						fmt.Printf("  %-16s %-12s seed=%-4d %-60s cycles=%-9d %s\n",
-							spec.Name, mit, rep.Seed, kindSetName(ks), rep.Cycles, rep.Summary)
-					}
-					if rep.Failed() {
-						failures++
-						fmt.Printf("DIVERGENCE %s under %v, seed %d, kinds %s (injected %d: %s):\n",
-							spec.Name, mit, rep.Seed, kindSetName(ks), rep.Injected, rep.Summary)
-						for _, d := range rep.Divergence {
-							fmt.Printf("  %s\n", d)
-						}
-					}
+					cells = append(cells, chaos.CampaignCell{
+						Spec: spec, Mit: mit,
+						Cfg: chaos.Config{
+							Seed: *seed0 + uint64(s), Kinds: ks,
+							Rate: *rate, MaxLatency: *maxLat,
+						},
+					})
 				}
+			}
+		}
+	}
+
+	reps, err := chaos.RunCampaign(cells, *scale, *maxCycles, *workers)
+	if err != nil {
+		c := cells[len(reps)]
+		fail("%s/%v: %v", c.Spec.Name, c.Mit, err)
+	}
+
+	runs, injected, failures := 0, uint64(0), 0
+	for i, rep := range reps {
+		c := cells[i]
+		runs++
+		injected += rep.Injected
+		if *verbose {
+			fmt.Printf("  %-16s %-12s seed=%-4d %-60s cycles=%-9d %s\n",
+				c.Spec.Name, c.Mit, rep.Seed, kindSetName(c.Cfg.Kinds), rep.Cycles, rep.Summary)
+		}
+		if rep.Failed() {
+			failures++
+			fmt.Printf("DIVERGENCE %s under %v, seed %d, kinds %s (injected %d: %s):\n",
+				c.Spec.Name, c.Mit, rep.Seed, kindSetName(c.Cfg.Kinds), rep.Injected, rep.Summary)
+			for _, d := range rep.Divergence {
+				fmt.Printf("  %s\n", d)
 			}
 		}
 	}
@@ -122,7 +137,7 @@ func main() {
 	if *verdicts {
 		for s := 0; s < *verdictSeeds; s++ {
 			seed := *seed0 + uint64(s)
-			drifts, err := chaos.CheckVerdictInvariance(seed, *rate, attacks.TableMitigations())
+			drifts, err := chaos.CheckVerdictInvarianceParallel(seed, *rate, attacks.TableMitigations(), *workers)
 			if err != nil {
 				fail("verdict sweep: %v", err)
 			}

@@ -18,6 +18,7 @@ import (
 	"specasan/internal/cpu"
 	"specasan/internal/harness"
 	"specasan/internal/isa"
+	"specasan/internal/prof"
 	"specasan/internal/workloads"
 )
 
@@ -30,6 +31,8 @@ func main() {
 	showConfig := flag.Bool("config", false, "print the simulated CPU configuration (Table 2) and exit")
 	trace := flag.Bool("trace", false, "print a pipeline event trace")
 	pipeview := flag.Int("pipeview", 0, "render a timeline of the last N instructions")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
 	if *showConfig {
@@ -40,6 +43,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "specasan-sim:", err)
+		}
+	}()
 
 	var prog *asm.Program
 	cfg := core.DefaultConfig()
@@ -101,6 +113,7 @@ func main() {
 	fmt.Print(harness.FormatStats(res.Stats))
 	if res.Err != nil {
 		fmt.Fprintf(os.Stderr, "\nspecasan-sim: %v\npipeline snapshot:\n%s", res.Err, res.Err.Snapshot)
+		stopProf() // os.Exit skips the deferred flush
 		os.Exit(1)
 	}
 }

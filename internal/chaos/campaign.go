@@ -1,0 +1,98 @@
+package chaos
+
+import (
+	"specasan/internal/attacks"
+	"specasan/internal/core"
+	"specasan/internal/par"
+	"specasan/internal/workloads"
+)
+
+// CampaignCell is one run of the chaos campaign grid: a workload under a
+// mitigation with one chaos configuration (kinds + seed). Cells are fully
+// independent — each builds its own machine and injector — which is what
+// makes the campaign safe to run on a worker pool.
+type CampaignCell struct {
+	Spec *workloads.Spec
+	Mit  core.Mitigation
+	Cfg  Config
+}
+
+// RunCampaign executes every cell with up to `workers` running concurrently
+// (0 = GOMAXPROCS) and returns one report per cell, in cell order. The
+// result is deterministic for any worker count: chaos randomness is seeded
+// per cell, and reports are collected positionally. A cell that cannot run
+// at all stops the campaign; the first error (in cell order) is returned
+// with the reports of the cells before it.
+func RunCampaign(cells []CampaignCell, scale float64, maxCycles uint64,
+	workers int) ([]*RunReport, error) {
+
+	reps := make([]*RunReport, len(cells))
+	errs := make([]error, len(cells))
+	par.ForEachOrdered(len(cells), workers, func(i int) {
+		reps[i], errs[i] = RunWorkload(cells[i].Spec, cells[i].Mit, cells[i].Cfg,
+			scale, maxCycles)
+	}, nil)
+	for i, err := range errs {
+		if err != nil {
+			return reps[:i], err
+		}
+	}
+	return reps, nil
+}
+
+// verdictCell pairs one Table 1 attack with one mitigation for the parallel
+// invariance sweep.
+type verdictCell struct {
+	attack *attacks.Attack
+	mit    core.Mitigation
+}
+
+// CheckVerdictInvarianceParallel is CheckVerdictInvariance on a worker pool:
+// every (attack, mitigation) cell evaluates clean and chaotic verdicts
+// independently, and drifts are returned in the serial sweep's order
+// (attack-major, mitigation-minor) regardless of worker count.
+func CheckVerdictInvarianceParallel(seed uint64, rate float64,
+	mits []core.Mitigation, workers int) ([]VerdictDrift, error) {
+
+	cfg := Config{Seed: seed, Kinds: TimingSafeKinds(), Rate: rate, MaxLatency: 150}
+	var cells []verdictCell
+	for _, a := range attacks.All() {
+		for _, mit := range mits {
+			cells = append(cells, verdictCell{attack: a, mit: mit})
+		}
+	}
+	drifts := make([][]VerdictDrift, len(cells))
+	errs := make([]error, len(cells))
+	par.ForEachOrdered(len(cells), workers, func(i int) {
+		a, mit := cells[i].attack, cells[i].mit
+		base, _, err := a.Evaluate(mit)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		inj, err := New(cfg)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		chaotic, _, err := a.EvaluateWith(mit, inj.Attach)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		if chaotic != base {
+			drifts[i] = []VerdictDrift{{
+				Attack: a.Name, Mitigation: mit,
+				Baseline: base, Chaotic: chaotic,
+			}}
+		}
+	}, nil)
+	var out []VerdictDrift
+	for i := range cells {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out = append(out, drifts[i]...)
+	}
+	return out, nil
+}

@@ -1,0 +1,60 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"specasan/internal/core"
+	"specasan/internal/workloads"
+)
+
+// TestRunCampaignParallelDeterminism checks the chaos-campaign half of the
+// parallel-harness contract: the same cell grid must produce identical
+// reports (seeds, injection counts, cycles, divergences) for any worker
+// count, because chaos randomness is seeded per cell and every cell owns its
+// machine and injector.
+func TestRunCampaignParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	spec := workloads.ByName("505.mcf_r")
+	if spec == nil {
+		t.Fatal("workload 505.mcf_r missing")
+	}
+	var cells []CampaignCell
+	for _, mit := range []core.Mitigation{core.Unsafe, core.SpecASan} {
+		for _, ks := range [][]Kind{{LatencyJitter}, AllKinds()} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				cells = append(cells, CampaignCell{
+					Spec: spec, Mit: mit,
+					Cfg: Config{Seed: seed, Kinds: ks, Rate: 0.02, MaxLatency: 200},
+				})
+			}
+		}
+	}
+
+	run := func(workers int) string {
+		reps, err := RunCampaign(cells, 0.02, 50_000_000, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var b strings.Builder
+		for i, rep := range reps {
+			fmt.Fprintf(&b, "cell %d: seed=%d injected=%d cycles=%d summary=%q div=%v\n",
+				i, rep.Seed, rep.Injected, rep.Cycles, rep.Summary, rep.Divergence)
+		}
+		return b.String()
+	}
+
+	serial := run(1)
+	for _, workers := range []int{2, 4} {
+		if got := run(workers); got != serial {
+			t.Errorf("workers=%d diverges from serial:\n-- serial --\n%s\n-- workers=%d --\n%s",
+				workers, serial, workers, got)
+		}
+	}
+	if len(serial) == 0 {
+		t.Fatal("campaign produced no reports")
+	}
+}

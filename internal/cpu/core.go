@@ -100,6 +100,18 @@ type robEntry struct {
 
 	// Metrics.
 	policyDelayed bool // delayed >= 1 cycle by the active mitigation
+
+	// O(1) rename/wakeup bookkeeping. srcsBuf backs srcs so steady-state
+	// dispatch allocates nothing; consumers keeps its backing array across
+	// slot reuse for the same reason.
+	srcsBuf     [4]source
+	consumers   []uint64    // dispatched dependents awaiting this result
+	pendingSrcs int         // renamed sources (incl. flags) still pending
+	inReadyQ    bool        // member of Core.readyQ
+	inRiskQ     bool        // member of Core.riskQ
+	prevProd    [2]uint64   // RAT values displaced by this entry's dsts
+	prevFlags   uint64      // RAT flags producer displaced (when tookFlags)
+	tookFlags   bool        // this entry claimed the flags rename slot
 }
 
 // candidateEvent is a potential leak recorded at execute, promoted to a real
@@ -140,6 +152,7 @@ type Core struct {
 	fetchBlockedBy uint64 // unresolved branch seq stalling fetch (CFI / no-prediction)
 	lastFetchLine  uint64 // line of the previous I-fetch (one access per line)
 	fetchQ         []fetchedInst
+	fqHead         int      // consumed prefix of fetchQ (compacted each fetch)
 	shadowStack    []uint64 // SpecCFI speculative shadow stack (fetch-maintained)
 
 	// Back-end resources.
@@ -202,6 +215,31 @@ type Core struct {
 	cfiOn        bool
 	fenceOn      bool
 	selectiveDly bool
+
+	// Incremental rename/wakeup structures. The rename map table (rat) maps
+	// each architectural register to its youngest in-flight producer (0 =
+	// committed register file); dispatch reads it in O(1) where it used to
+	// scan the window, commit clears it, and squash unwinds it through each
+	// entry's prevProd chain. The seq queues below mirror subsets of the
+	// in-flight window so the stages that used to sweep the whole ROB touch
+	// only the entries they care about. All are maintained exactly by
+	// dispatch/resolve/releaseEntry and validated by the watchdog.
+	rat      [isa.NumRegs]uint64
+	ratFlags uint64
+
+	readyQ     []uint64 // stDispatched entries with all operands available
+	readyDirty bool     // readyQ needs re-sorting before issue
+	wakeQ      []wakeEvent
+
+	branchQ  []uint64 // in-flight unresolved branches, ascending
+	storeQ   []uint64 // in-flight stores, ascending
+	loadQ    []uint64 // in-flight loads, ascending
+	barrierQ []uint64 // in-flight SWPAL/DSB, ascending
+	riskQ    []uint64 // entries with fault/assist/falloutForward set
+
+	unresolvedStores  int    // in-flight stores with !addrReady
+	tagWritesInFlight int    // in-flight STG/ST2G
+	incompleteFrom    uint64 // no incomplete entry older than this (lazy)
 }
 
 type fetchedInst struct {
@@ -246,6 +284,16 @@ func NewCore(id int, cfg *core.Config, mit core.Mitigation, prog *asm.Program,
 		fenceOn:      mit.FencesSpeculativeLoads(),
 		selectiveDly: cfg.SelectiveDelay,
 	}
+	// Pre-size the incremental queues and the fetch buffer so the steady
+	// state never allocates.
+	c.fetchQ = make([]fetchedInst, 0, 3*cfg.FetchWidth)
+	c.readyQ = make([]uint64, 0, cfg.ROBEntries)
+	c.wakeQ = make([]wakeEvent, 0, 2*cfg.ROBEntries)
+	c.branchQ = make([]uint64, 0, cfg.ROBEntries)
+	c.storeQ = make([]uint64, 0, cfg.SQEntries)
+	c.loadQ = make([]uint64, 0, cfg.LQEntries)
+	c.barrierQ = make([]uint64, 0, cfg.ROBEntries)
+	c.riskQ = make([]uint64, 0, cfg.ROBEntries)
 	c.tsh = core.NewTSH(tshROB{c})
 	return c
 }
@@ -290,15 +338,13 @@ func (c *Core) entry(seq uint64) *robEntry {
 func (c *Core) robCount() int { return int(c.nextSeq - c.headSeq) }
 
 // oldestUnresolvedBranch returns the seq of the oldest in-flight unresolved
-// branch, or 0 when none exists.
+// branch, or 0 when none exists. branchQ holds exactly the unresolved
+// in-flight branches in ascending seq order, so this is its front.
 func (c *Core) oldestUnresolvedBranch() uint64 {
-	for s := c.headSeq; s < c.nextSeq; s++ {
-		e := &c.rob[s%uint64(len(c.rob))]
-		if e.valid && e.isBranch && !e.brResolved {
-			return e.seq
-		}
+	if len(c.branchQ) == 0 {
+		return 0
 	}
-	return 0
+	return c.branchQ[0]
 }
 
 // speculative reports whether entry e executes under unresolved control
@@ -312,15 +358,22 @@ func (c *Core) speculative(e *robEntry) bool {
 }
 
 // olderIncomplete reports whether any older in-flight instruction has not
-// yet produced its result — the lfence drain condition.
+// yet produced its result — the lfence drain condition. incompleteFrom is a
+// lazily advanced pointer: completion is sticky (stDone never reverts and
+// doneAt <= cycle stays true as cycles advance), so entries behind it never
+// become incomplete again; squash clamps it when seqs roll back.
 func (c *Core) olderIncomplete(seq uint64) bool {
-	for s := c.headSeq; s < seq; s++ {
-		o := &c.rob[s%uint64(len(c.rob))]
-		if o.valid && (o.state != stDone || o.doneAt > c.cycle) {
-			return true
-		}
+	if c.incompleteFrom < c.headSeq {
+		c.incompleteFrom = c.headSeq
 	}
-	return false
+	for c.incompleteFrom < c.nextSeq {
+		o := &c.rob[c.incompleteFrom%uint64(len(c.rob))]
+		if o.valid && o.seq == c.incompleteFrom && (o.state != stDone || o.doneAt > c.cycle) {
+			break
+		}
+		c.incompleteFrom++
+	}
+	return c.incompleteFrom < seq
 }
 
 // specOrMemDep is the speculation definition STT and GhostMinion use:
@@ -338,19 +391,14 @@ func (c *Core) transient(e *robEntry) bool {
 	if c.speculative(e) {
 		return true
 	}
-	for s := c.headSeq; s < e.seq; s++ {
-		o := &c.rob[s%uint64(len(c.rob))]
-		if !o.valid {
-			continue
-		}
-		if o.fault || o.assist || o.falloutForward {
-			return true
-		}
-		if o.isStore && !o.addrReady {
+	// riskQ holds exactly the in-flight entries with one of those flags set
+	// (usually empty; a handful under attack workloads).
+	for _, s := range c.riskQ {
+		if s < e.seq {
 			return true
 		}
 	}
-	return false
+	return c.memDepWindowOpen(e.seq)
 }
 
 // memDepWindowOpen reports whether an older store with an unresolved
@@ -358,13 +406,27 @@ func (c *Core) transient(e *robEntry) bool {
 // GhostMinion treat loads in this window as speculative (it is part of
 // their threat model); MDS-style fault windows are not.
 func (c *Core) memDepWindowOpen(seq uint64) bool {
-	for s := c.headSeq; s < seq; s++ {
-		o := &c.rob[s%uint64(len(c.rob))]
-		if o.valid && o.isStore && !o.addrReady {
+	if c.unresolvedStores == 0 {
+		return false
+	}
+	for _, s := range c.storeQ {
+		if s >= seq {
+			break
+		}
+		if !c.rob[s%uint64(len(c.rob))].addrReady {
 			return true
 		}
 	}
 	return false
+}
+
+// markRisk registers e in riskQ when its fault/assist/falloutForward flag is
+// first set; releaseEntry removes it.
+func (c *Core) markRisk(e *robEntry) {
+	if !e.inRiskQ {
+		e.inRiskQ = true
+		c.riskQ = append(c.riskQ, e.seq)
+	}
 }
 
 // taintActive reports whether an STT taint root is still live (its value

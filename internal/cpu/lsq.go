@@ -31,6 +31,9 @@ func (c *Core) startMemOp(e *robEntry) {
 			e.addr = isa.EffAddr(in, rn, rm)
 		}
 		e.addrReady = true
+		if e.isStore {
+			c.unresolvedStores--
+		}
 		// A store's address just resolved: run the memory-order check
 		// against younger loads that speculatively bypassed it.
 		if e.isStore && in.Op != isa.SWPAL {
@@ -53,7 +56,7 @@ func (c *Core) startMemOp(e *robEntry) {
 		lock := c.img.Tags.Lock(e.addr)
 		oldRd, _ := c.readSource2(e, in.Rd)
 		e.result, e.hasResult = mte.WithKey(oldRd, lock), true
-		e.state, e.doneAt = stDone, c.cycle+c.cfg.L1DLatency
+		c.setDone(e, c.cycle+c.cfg.L1DLatency)
 	case isa.SWPAL:
 		c.executeAtomic(e)
 	}
@@ -63,14 +66,17 @@ func (c *Core) startMemOp(e *robEntry) {
 // granule of the access: the tag check must wait for the tag write, exactly
 // as a load must wait for an older same-address store.
 func (c *Core) olderTagWriteInFlight(seq uint64, addr uint64, size int) bool {
-	if !c.mteOn {
+	if !c.mteOn || c.tagWritesInFlight == 0 {
 		return false
 	}
 	first := mte.GranuleIndex(addr)
 	last := mte.GranuleIndex(mte.Strip(addr) + uint64(size) - 1)
-	for s := c.headSeq; s < seq; s++ {
+	for _, s := range c.storeQ {
+		if s >= seq {
+			break
+		}
 		o := &c.rob[s%uint64(len(c.rob))]
-		if !o.valid || (o.inst.Op != isa.STG && o.inst.Op != isa.ST2G) {
+		if o.inst.Op != isa.STG && o.inst.Op != isa.ST2G {
 			continue
 		}
 		if !o.addrReady {
@@ -111,10 +117,15 @@ func (c *Core) executeStore(e *robEntry) {
 	} else {
 		c.tsh.OnResult(e.seq, true) // STG/ST2G are tag writes, never checked
 	}
-	e.state, e.doneAt = stDone, c.cycle+1
+	if e.fault {
+		c.markRisk(e)
+	}
+	c.setDone(e, c.cycle+1)
 	c.Stats.Inc("stores_executed")
-	c.trace("cycle %d: store seq=%d pc=%#x addr=%#x data=%#x tagOK=%v",
-		c.cycle, e.seq, e.pc, mte.Strip(e.addr), e.storeData, e.tagOK)
+	if c.TraceFn != nil {
+		c.trace("cycle %d: store seq=%d pc=%#x addr=%#x data=%#x tagOK=%v",
+			c.cycle, e.seq, e.pc, mte.Strip(e.addr), e.storeData, e.tagOK)
+	}
 }
 
 // executeAtomic performs SWPAL at the head of the ROB only (acquire/release
@@ -131,7 +142,8 @@ func (c *Core) executeAtomic(e *robEntry) {
 	e.tagOK = res.TagOK
 	if c.mteOn && !res.TagOK {
 		e.fault, e.faultIsTag = true, true
-		e.state, e.doneAt = stDone, res.ReadyAt
+		c.markRisk(e)
+		c.setDone(e, res.ReadyAt)
 		return
 	}
 	a := mte.Strip(e.addr)
@@ -139,7 +151,7 @@ func (c *Core) executeAtomic(e *robEntry) {
 	newVal, _ := c.readSource2(e, e.inst.Rd)
 	c.img.WriteU64(a, newVal)
 	e.result, e.hasResult = old, true
-	e.state, e.doneAt = stDone, res.ReadyAt
+	c.setDone(e, res.ReadyAt)
 	c.Stats.Inc("atomics")
 }
 
@@ -169,11 +181,15 @@ func (c *Core) scanStoreQueue(e *robEntry) (dec fwdDecision, st *robEntry) {
 	size := e.inst.MemBytes()
 	unresolved := false
 	var fallout *robEntry
-	// Scan youngest-first: the nearest older store wins.
-	for s := e.seq - 1; s >= c.headSeq && s > 0; s-- {
+	// Scan youngest-first: the nearest older store wins. storeQ holds the
+	// in-flight stores ascending, so walk it from the back.
+	for i := len(c.storeQ) - 1; i >= 0; i-- {
+		s := c.storeQ[i]
+		if s >= e.seq {
+			continue
+		}
 		o := &c.rob[s%uint64(len(c.rob))]
-		if !o.valid || !o.isStore || o.inst.Op == isa.SWPAL ||
-			o.inst.Op == isa.STG || o.inst.Op == isa.ST2G {
+		if o.inst.Op == isa.SWPAL || o.inst.Op == isa.STG || o.inst.Op == isa.ST2G {
 			continue
 		}
 		if !o.addrReady {
@@ -222,13 +238,12 @@ func (c *Core) trainMDU(pc uint64, violated bool) {
 // olderBarrierInFlight reports an older uncompleted atomic or barrier:
 // acquire/release semantics forbid younger loads from executing past it.
 func (c *Core) olderBarrierInFlight(seq uint64) bool {
-	for s := c.headSeq; s < seq; s++ {
-		o := &c.rob[s%uint64(len(c.rob))]
-		if !o.valid {
-			continue
+	for _, s := range c.barrierQ {
+		if s >= seq {
+			break
 		}
-		if (o.inst.Op == isa.SWPAL || o.inst.Op == isa.DSB) &&
-			(o.state != stDone || o.doneAt > c.cycle) {
+		o := &c.rob[s%uint64(len(c.rob))]
+		if o.state != stDone || o.doneAt > c.cycle {
 			return true
 		}
 	}
@@ -255,6 +270,7 @@ func (c *Core) executeLoad(e *robEntry) {
 	if c.inAssist(e.addr) && !e.memIssued {
 		e.assist = true
 		e.fault = true // permission fault at commit
+		c.markRisk(e)
 		c.tsh.OnIssue(e.seq)
 		res := c.hier.Access(cache.AccessReq{
 			Core: c.ID, Ptr: e.addr, Size: size, Now: c.cycle,
@@ -308,15 +324,17 @@ func (c *Core) executeLoad(e *robEntry) {
 		off := mte.Strip(e.addr) - mte.Strip(st.addr)
 		e.result, e.hasResult = extractBytes(st.storeData, int(off), size), true
 		e.forwardedFrom = st.seq
-		e.state, e.doneAt = stDone, c.cycle+2
 		e.tagOK = true
 		if st.secret {
 			e.secret = true
 		}
+		c.setDone(e, c.cycle+2)
 		c.Stats.Inc("stl_forwards")
 		return
 	case fwdFallout:
-		c.trace("cycle %d: load seq=%d fallout-candidate from store seq=%d", c.cycle, e.seq, st.seq)
+		if c.TraceFn != nil {
+			c.trace("cycle %d: load seq=%d fallout-candidate from store seq=%d", c.cycle, e.seq, st.seq)
+		}
 		if c.specChecks {
 			// SpecASan checks tags before any forward: a partial match
 			// cannot validate, so the false forward never happens; the
@@ -329,12 +347,13 @@ func (c *Core) executeLoad(e *robEntry) {
 			e.result, e.hasResult = st.storeData, true
 			e.falloutForward = true
 			e.forwardedFrom = st.seq
-			e.state, e.doneAt = stDone, c.cycle+2
+			c.markRisk(e)
 			e.tagOK = true
 			if st.secret || (c.oracle.HasSecrets() && c.oracle.IsSecret(mte.Strip(st.addr), 8)) {
 				e.secret = true
 				c.oracle.SecretReads++
 			}
+			c.setDone(e, c.cycle+2)
 			c.Stats.Inc("fallout_forwards")
 			return
 		}
@@ -379,9 +398,11 @@ func (c *Core) executeLoad(e *robEntry) {
 		e.doneAt += lateTagCheckPenalty
 	}
 	c.Stats.Inc("loads_issued")
-	c.trace("cycle %d: load seq=%d pc=%#x addr=%#x key=%d lock=%d tagOK=%v spec=%v served=%s ready=%d blocked=%v",
-		c.cycle, e.seq, e.pc, mte.Strip(e.addr), mte.Key(e.addr), res.Lock,
-		res.TagOK, spec, res.ServedBy, res.ReadyAt, res.Blocked)
+	if c.TraceFn != nil {
+		c.trace("cycle %d: load seq=%d pc=%#x addr=%#x key=%d lock=%d tagOK=%v spec=%v served=%s ready=%d blocked=%v",
+			c.cycle, e.seq, e.pc, mte.Strip(e.addr), mte.Key(e.addr), res.Lock,
+			res.TagOK, spec, res.ServedBy, res.ReadyAt, res.Blocked)
+	}
 
 	// Leak-oracle: a speculatively issued access whose *address* derives
 	// from secret data perturbs the cache (and MSHRs on a miss).
@@ -407,9 +428,12 @@ func extractBytes(v uint64, off, size int) uint64 {
 func (c *Core) checkOrderViolation(st *robEntry) bool {
 	sa := mte.Strip(st.addr)
 	ssize := st.inst.MemBytes()
-	for s := st.seq + 1; s < c.nextSeq; s++ {
+	for _, s := range c.loadQ {
+		if s <= st.seq {
+			continue
+		}
 		e := &c.rob[s%uint64(len(c.rob))]
-		if !e.valid || !e.isLoad || !e.addrReady {
+		if !e.addrReady {
 			continue
 		}
 		if e.state != stDone && e.state != stWaitMem {
@@ -432,11 +456,11 @@ func (c *Core) checkOrderViolation(st *robEntry) bool {
 // advanceLSQ completes outstanding memory responses and replays unsafe
 // accesses whose speculation has resolved.
 func (c *Core) advanceLSQ() {
-	for s := c.headSeq; s < c.nextSeq; s++ {
+	// Only loads ever sit in stWaitMem/stWaitUnsafe (stores and atomics
+	// complete at execute), so walking loadQ visits the same entries the old
+	// full-window scan did, in the same ascending order.
+	for _, s := range c.loadQ {
 		e := &c.rob[s%uint64(len(c.rob))]
-		if !e.valid {
-			continue
-		}
 		switch e.state {
 		case stWaitMem:
 			if e.doneAt <= c.cycle {
@@ -455,7 +479,7 @@ func (c *Core) completeMemAccess(e *robEntry) {
 	if e.assist {
 		// Assisted loads already carry their (transient) result; they
 		// fault at commit.
-		e.state = stDone
+		c.setDone(e, e.doneAt)
 		return
 	}
 	if !e.replayed {
@@ -469,17 +493,20 @@ func (c *Core) completeMemAccess(e *robEntry) {
 		if c.Rec != nil {
 			c.Rec.onUnsafe(e)
 		}
-		c.trace("cycle %d: seq=%d tcs=unsafe (SSA=0), delaying until speculation resolves", c.cycle, e.seq)
+		if c.TraceFn != nil {
+			c.trace("cycle %d: seq=%d tcs=unsafe (SSA=0), delaying until speculation resolves", c.cycle, e.seq)
+		}
 		return
 	}
 	size := e.inst.MemBytes()
 	e.result, e.hasResult = c.img.ReadUint(mte.Strip(e.addr), size), true
-	e.state = stDone
 	if c.mteOn && !e.tagOK {
 		// Committed-path MTE semantics: fault at commit. (Under plain MTE
 		// a mispredicted path never reaches commit — the Spectre gap.)
 		e.fault, e.faultIsTag = true, true
+		c.markRisk(e)
 	}
+	c.setDone(e, e.doneAt)
 	if !e.secret && c.oracle.HasSecrets() &&
 		c.oracle.IsSecret(mte.Strip(e.addr), size) {
 		e.secret = true

@@ -26,10 +26,14 @@ func (c *Core) commitStore(e *robEntry) {
 		c.img.WriteUint(mte.Strip(e.addr), e.storeData, in.MemBytes())
 		c.Stats.Inc("stores_committed")
 		// WTF closing edge: younger loads that took the partial-match
-		// forward from this store re-execute via squash.
-		for s := e.seq + 1; s < c.nextSeq; s++ {
+		// forward from this store re-execute via squash. loadQ is ascending,
+		// so the first match is the oldest violator, as before.
+		for _, s := range c.loadQ {
+			if s <= e.seq {
+				continue
+			}
 			l := &c.rob[s%uint64(len(c.rob))]
-			if l.valid && l.falloutForward && l.forwardedFrom == e.seq {
+			if l.falloutForward && l.forwardedFrom == e.seq {
 				c.Stats.Inc("fallout_replays")
 				c.squashAfter(l.seq-1, l.pc)
 				return

@@ -1,0 +1,78 @@
+package cpu
+
+import (
+	"testing"
+
+	"specasan/internal/core"
+	"specasan/internal/workloads"
+)
+
+// perfMachine builds the standard perf-measurement machine: 508.namd_r at
+// scale 10 (long enough that warmup reaches steady state), default config,
+// no mitigation. cmd/specasan-bench -perf uses the same recipe, so the
+// microbench here and BENCH_sim.json measure the same hot loop.
+func perfMachine(tb testing.TB) *Machine {
+	tb.Helper()
+	spec := workloads.ByName("508.namd_r")
+	if spec == nil {
+		tb.Fatal("workload 508.namd_r missing")
+	}
+	prog, err := spec.Build(false, 10)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Cores = spec.Threads
+	m, err := NewMachine(cfg, core.Unsafe, prog)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+// TestMachineStepAllocs guards the steady-state allocation elimination: once
+// the pipeline is warm, Machine.Step must not allocate. The small tolerance
+// absorbs rare amortised growth (stats map resize, predictor tables) without
+// letting per-instruction allocations back in.
+func TestMachineStepAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	m := perfMachine(t)
+	for i := 0; i < 2000 && !m.Done(); i++ {
+		m.Step()
+	}
+	if m.Done() {
+		t.Fatal("machine halted during warmup; enlarge the workload scale")
+	}
+	allocs := testing.AllocsPerRun(2000, func() {
+		if !m.Done() {
+			m.Step()
+		}
+	})
+	if allocs > 0.01 {
+		t.Errorf("Machine.Step allocates %.3f objects/step in steady state, want ~0", allocs)
+	}
+}
+
+// BenchmarkMachineStep measures host ns per simulated cycle in steady state —
+// the single-core throughput number BENCH_sim.json tracks.
+func BenchmarkMachineStep(b *testing.B) {
+	m := perfMachine(b)
+	for i := 0; i < 2000 && !m.Done(); i++ {
+		m.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.Done() {
+			b.StopTimer()
+			m = perfMachine(b)
+			for j := 0; j < 2000 && !m.Done(); j++ {
+				m.Step()
+			}
+			b.StartTimer()
+		}
+		m.Step()
+	}
+}

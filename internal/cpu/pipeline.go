@@ -18,14 +18,89 @@ func (c *Core) Tick() {
 	}
 	c.completeExecution()
 	c.advanceLSQ()
+	c.wakeup()
 	c.issue()
 	c.dispatch()
 	c.fetch()
 }
 
+// wakeup drains due events from the wake heap and fires the producers'
+// consumer lists, making dependents issue-eligible this cycle — exactly when
+// the old per-cycle window scan would first have seen the result available.
+// Stale events (a squash rolled nextSeq back and the seq was reused) are
+// filtered by the seq/state/doneAt checks: a reused entry either scheduled
+// its own event for its true doneAt or is not done yet.
+func (c *Core) wakeup() {
+	for len(c.wakeQ) > 0 && c.wakeQ[0].at <= c.cycle {
+		ev := wakePop(&c.wakeQ)
+		e := &c.rob[ev.seq%uint64(len(c.rob))]
+		// Deliberately no e.valid check: a producer that committed this
+		// cycle (commit runs before wakeup) still owes its consumers their
+		// wake; they will read the committed register file.
+		if e.seq != ev.seq || e.state != stDone || e.doneAt > c.cycle {
+			continue
+		}
+		c.fireConsumers(e)
+	}
+}
+
+// fireConsumers wakes every registered dependent of e: each loses one
+// pending source and enters the ready queue when none remain.
+func (c *Core) fireConsumers(e *robEntry) {
+	for _, cs := range e.consumers {
+		d := c.entry(cs)
+		if d == nil || d.pendingSrcs == 0 {
+			continue
+		}
+		d.pendingSrcs--
+		if d.pendingSrcs == 0 && d.state == stDispatched {
+			c.pushReady(d)
+		}
+	}
+	e.consumers = e.consumers[:0]
+}
+
+// pushReady inserts e into the ready queue (kept ascending; marked dirty on
+// out-of-order insert and re-sorted once per cycle before issue).
+func (c *Core) pushReady(e *robEntry) {
+	if e.inReadyQ {
+		return
+	}
+	e.inReadyQ = true
+	if n := len(c.readyQ); n > 0 && c.readyQ[n-1] > e.seq {
+		c.readyDirty = true
+	}
+	c.readyQ = append(c.readyQ, e.seq)
+}
+
+// setDone marks e's result available at cycle `at`, waking consumers
+// immediately when the result is already visible or scheduling a wake event
+// otherwise.
+func (c *Core) setDone(e *robEntry, at uint64) {
+	e.state = stDone
+	e.doneAt = at
+	if at <= c.cycle {
+		c.fireConsumers(e)
+	} else {
+		// Always scheduled (even with no consumers yet): a dependent may
+		// dispatch between now and doneAt and register on the list.
+		wakePush(&c.wakeQ, wakeEvent{at: at, seq: e.seq})
+	}
+}
+
 // ---------------------------------------------------------------- fetch --
 
+// fqLen is the number of fetched-but-not-dispatched instructions.
+func (c *Core) fqLen() int { return len(c.fetchQ) - c.fqHead }
+
 func (c *Core) fetch() {
+	// Compact the consumed prefix so appends reuse the fixed backing array
+	// (dispatch pops by advancing fqHead instead of re-slicing).
+	if c.fqHead > 0 {
+		n := copy(c.fetchQ, c.fetchQ[c.fqHead:])
+		c.fetchQ = c.fetchQ[:n]
+		c.fqHead = 0
+	}
 	if len(c.fetchQ) >= c.cfg.FetchWidth*2 {
 		return
 	}
@@ -165,12 +240,12 @@ func (c *Core) shadowTopMatches(t uint64) bool {
 // ------------------------------------------------------------- dispatch --
 
 func (c *Core) dispatch() {
-	for n := 0; n < c.cfg.IssueWidth && len(c.fetchQ) > 0; n++ {
+	for n := 0; n < c.cfg.IssueWidth && c.fqLen() > 0; n++ {
 		if c.robCount() >= len(c.rob) || c.iqCount >= c.cfg.IQEntries {
 			c.Stats.Inc("dispatch_stall_cycles")
 			return
 		}
-		fi := c.fetchQ[0]
+		fi := c.fetchQ[c.fqHead]
 		in := fi.inst
 		if in.IsLoad() && c.lqCount >= c.cfg.LQEntries {
 			return
@@ -178,11 +253,12 @@ func (c *Core) dispatch() {
 		if in.IsStore() && c.sqCount >= c.cfg.SQEntries {
 			return
 		}
-		c.fetchQ = c.fetchQ[1:]
+		c.fqHead++
 
 		seq := c.nextSeq
 		c.nextSeq++
 		e := &c.rob[seq%uint64(len(c.rob))]
+		consumers := e.consumers[:0] // keep the backing array across reuse
 		*e = robEntry{
 			valid: true, seq: seq, pc: fi.pc, inst: in, state: stDispatched,
 			isBranch: in.IsBranch(), predTaken: fi.predTaken,
@@ -190,37 +266,81 @@ func (c *Core) dispatch() {
 			isLoad: in.IsLoad(), isStore: in.IsStore(),
 			tagOK: true,
 		}
-		// Rename sources against the RAT-equivalent: scan older in-flight
-		// entries youngest-first for the most recent producer.
+		e.consumers = consumers
+		e.srcs = e.srcsBuf[:0]
+
+		// Rename sources through the map table and register this entry on
+		// the wakeup list of every producer whose result is still pending.
 		var srcRegs [4]isa.Reg
 		for _, r := range in.Srcs(srcRegs[:0]) {
-			e.srcs = append(e.srcs, source{reg: r, producer: c.youngestProducer(r, seq)})
-		}
-		if in.ReadsFlags() {
-			e.flagsFrom = c.youngestFlagsProducer(seq)
-		}
-		// Record the speculation context: the youngest older branch still
-		// unresolved at dispatch time.
-		for s := c.headSeq; s < seq; s++ {
-			o := &c.rob[s%uint64(len(c.rob))]
-			if o.valid && o.isBranch && !o.brResolved && o.seq > e.lastBranchSeq {
-				e.lastBranchSeq = o.seq
+			prod := uint64(0)
+			if r != isa.XZR {
+				prod = c.rat[r]
+			}
+			e.srcs = append(e.srcs, source{reg: r, producer: prod})
+			if p := c.entry(prod); p != nil && !(p.state == stDone && p.doneAt <= c.cycle) {
+				p.consumers = append(p.consumers, seq)
+				e.pendingSrcs++
 			}
 		}
+		if in.ReadsFlags() {
+			e.flagsFrom = c.ratFlags
+			if p := c.entry(e.flagsFrom); p != nil && !(p.state == stDone && p.doneAt <= c.cycle) {
+				p.consumers = append(p.consumers, seq)
+				e.pendingSrcs++
+			}
+		}
+		// Claim the map table for this entry's destinations, remembering the
+		// displaced producers for squash restore.
+		var dstRegs [2]isa.Reg
+		for i, d := range in.Dsts(dstRegs[:0]) {
+			if d == isa.XZR {
+				continue // writes to XZR are discarded, never renamed
+			}
+			e.prevProd[i] = c.rat[d]
+			c.rat[d] = seq
+		}
+		if in.WritesFlags() {
+			e.tookFlags = true
+			e.prevFlags = c.ratFlags
+			c.ratFlags = seq
+		}
+		// Speculation context: the youngest older branch still unresolved at
+		// dispatch time is the back of the unresolved-branch queue.
+		if n := len(c.branchQ); n > 0 {
+			e.lastBranchSeq = c.branchQ[n-1]
+		}
 
-		c.trace("cycle %d: dispatch seq=%d pc=%#x %v", c.cycle, seq, fi.pc, in)
+		if c.TraceFn != nil {
+			c.trace("cycle %d: dispatch seq=%d pc=%#x %v", c.cycle, seq, fi.pc, in)
+		}
 		if c.Rec != nil {
 			c.Rec.onDispatch(c, e)
 		}
 		c.iqCount++
+		if e.isBranch {
+			c.branchQ = append(c.branchQ, seq)
+		}
 		if e.isLoad {
 			c.lqCount++
+			c.loadQ = append(c.loadQ, seq)
 		}
 		if e.isStore {
 			c.sqCount++
+			c.storeQ = append(c.storeQ, seq)
+			c.unresolvedStores++
+			if in.Op == isa.STG || in.Op == isa.ST2G {
+				c.tagWritesInFlight++
+			}
+		}
+		if in.Op == isa.SWPAL || in.Op == isa.DSB {
+			c.barrierQ = append(c.barrierQ, seq)
 		}
 		if e.isLoad || e.isStore {
 			c.tsh.Allocate(seq)
+		}
+		if e.pendingSrcs == 0 {
+			c.pushReady(e)
 		}
 		if fi.stallOnResolve {
 			c.fetchBlockedBy = seq // fetch resumes when this branch resolves
@@ -229,16 +349,16 @@ func (c *Core) dispatch() {
 	}
 }
 
-// youngestProducer finds the most recent in-flight writer of r older than
-// seq (0 if the committed register file holds the value).
-func (c *Core) youngestProducer(r isa.Reg, seq uint64) uint64 {
+// youngestProducerScan is the O(window) reference rename the map table
+// replaced; the watchdog cross-checks rat against it.
+func (c *Core) youngestProducerScan(r isa.Reg, seq uint64) uint64 {
 	if r == isa.XZR {
 		return 0
 	}
 	var dsts [2]isa.Reg
 	for s := seq - 1; s >= c.headSeq && s > 0; s-- {
 		o := &c.rob[s%uint64(len(c.rob))]
-		if o.valid {
+		if o.valid && o.seq == s {
 			for _, d := range o.inst.Dsts(dsts[:0]) {
 				if d == r {
 					return o.seq
@@ -252,10 +372,10 @@ func (c *Core) youngestProducer(r isa.Reg, seq uint64) uint64 {
 	return 0
 }
 
-func (c *Core) youngestFlagsProducer(seq uint64) uint64 {
+func (c *Core) youngestFlagsProducerScan(seq uint64) uint64 {
 	for s := seq - 1; s >= c.headSeq && s > 0; s-- {
 		o := &c.rob[s%uint64(len(c.rob))]
-		if o.valid && o.inst.WritesFlags() {
+		if o.valid && o.seq == s && o.inst.WritesFlags() {
 			return o.seq
 		}
 		if s == c.headSeq {
@@ -315,21 +435,34 @@ func (c *Core) operandsReady(e *robEntry) bool {
 }
 
 func (c *Core) issue() {
+	// readyQ holds exactly the stDispatched entries whose operands are all
+	// available (maintained by dispatch/fireConsumers/releaseEntry), kept in
+	// ascending seq order so issue priority matches the old oldest-first ROB
+	// scan. Out-of-order wakeup inserts mark it dirty; one nearly-sorted
+	// insertion sort per cycle restores order.
+	if c.readyDirty {
+		insertionSortU64(c.readyQ)
+		c.readyDirty = false
+	}
 	issued := 0
-	for s := c.headSeq; s < c.nextSeq && issued < c.cfg.IssueWidth; s++ {
-		e := &c.rob[s%uint64(len(c.rob))]
-		if !e.valid || e.state != stDispatched {
+	for i := 0; i < len(c.readyQ) && issued < c.cfg.IssueWidth; {
+		e := c.entry(c.readyQ[i])
+		if e == nil || e.state != stDispatched {
+			// Stale (issued or squashed out from under us): splice out.
+			if e != nil {
+				e.inReadyQ = false
+			}
+			c.readyQ = append(c.readyQ[:i], c.readyQ[i+1:]...)
 			continue
 		}
-		if !c.operandsReady(e) {
-			continue
-		}
-		if blocked, reason := c.policyBlocksIssue(e); blocked {
+		if blocked, key := c.policyBlocksIssue(e); blocked {
 			e.policyDelayed = true
-			c.Stats.Inc("policy_block_" + reason)
+			c.Stats.Inc(key)
+			i++
 			continue
 		}
 		if !c.unitAvailable(e) {
+			i++
 			continue
 		}
 		if c.Rec != nil {
@@ -337,6 +470,15 @@ func (c *Core) issue() {
 		}
 		c.startExecution(e)
 		issued++
+		if e.state == stDispatched {
+			// Memory op could not proceed this cycle (port/LFB); retry.
+			// A squash inside startExecution only removes younger entries,
+			// which sort after index i, so i stays valid.
+			i++
+			continue
+		}
+		e.inReadyQ = false
+		c.readyQ = append(c.readyQ[:i], c.readyQ[i+1:]...)
 	}
 }
 
@@ -397,7 +539,7 @@ func (c *Core) startExecution(e *robEntry) {
 
 	switch in.Classify() {
 	case isa.ClassNop:
-		e.state, e.doneAt = stDone, c.cycle+1
+		c.setDone(e, c.cycle+1)
 
 	case isa.ClassALU:
 		rn, _ := c.readSource2(e, in.Rn)
@@ -412,7 +554,7 @@ func (c *Core) startExecution(e *robEntry) {
 		res := isa.EvalALU(in, isa.ALUInputs{Rn: rn, Rm: rm, OldRd: oldRd, Flags: fl, TagSeed: c.tagSeed})
 		e.result, e.hasResult = res.Value, in.Op != isa.CMP
 		e.outFlags, e.writesFlags = res.Flags, res.WritesFlags
-		e.state, e.doneAt = stDone, c.cycle+1
+		c.setDone(e, c.cycle+1)
 		c.bookUnit(c.aluFree, c.cycle+1)
 
 	case isa.ClassMulDiv:
@@ -421,19 +563,18 @@ func (c *Core) startExecution(e *robEntry) {
 		res := isa.EvalALU(in, isa.ALUInputs{Rn: rn, Rm: rm})
 		e.result, e.hasResult = res.Value, true
 		if in.Op == isa.MUL {
-			e.doneAt = c.cycle + uint64(c.cfg.MulLat)
 			c.bookUnit(c.mulFree, c.cycle+1) // pipelined
+			c.setDone(e, c.cycle+uint64(c.cfg.MulLat))
 		} else {
 			// Early-out divider: latency depends on operand magnitude —
 			// the SpectreRewind contention surface.
 			lat := c.divLatency(rn)
-			e.doneAt = c.cycle + lat
 			c.divFree = c.cycle + lat // not pipelined
 			if e.secret && trans {
 				c.recordEvent(e, core.ChanDivider)
 			}
+			c.setDone(e, c.cycle+lat)
 		}
-		e.state = stDone
 
 	case isa.ClassBranch, isa.ClassIndirect:
 		rn, _ := c.readSource2(e, in.Rn)
@@ -500,11 +641,11 @@ func (c *Core) startSystem(e *robEntry) {
 	switch in.Op {
 	case isa.MRS:
 		e.result, e.hasResult = c.cycle, true
-		e.state, e.doneAt = stDone, c.cycle+1
+		c.setDone(e, c.cycle+1)
 	case isa.DSB:
 		// Full barrier: completes only when it is the oldest instruction.
 		if e.seq == c.headSeq {
-			e.state, e.doneAt = stDone, c.cycle+1
+			c.setDone(e, c.cycle+1)
 		} else {
 			e.state = stDispatched
 		}
@@ -513,12 +654,12 @@ func (c *Core) startSystem(e *robEntry) {
 		rn, _ := c.readSource2(e, in.Rn)
 		e.addr = rn
 		e.addrReady = true
-		e.state, e.doneAt = stDone, c.cycle+1
+		c.setDone(e, c.cycle+1)
 	case isa.SVC, isa.HLT:
 		// Effects applied at commit; mark done so commit can reach them.
-		e.state, e.doneAt = stDone, c.cycle+1
+		c.setDone(e, c.cycle+1)
 	default:
-		e.state, e.doneAt = stDone, c.cycle+1
+		c.setDone(e, c.cycle+1)
 	}
 	if e.state == stDispatched {
 		// keep IQ slot accounting consistent with startExecution's caller
@@ -530,29 +671,38 @@ func (c *Core) startSystem(e *robEntry) {
 // ------------------------------------------------- execution completion --
 
 func (c *Core) completeExecution() {
-	// Resolve branches oldest-first so squashes do not race.
-	for s := c.headSeq; s < c.nextSeq; s++ {
-		e := &c.rob[s%uint64(len(c.rob))]
-		if !e.valid {
+	// Resolve branches oldest-first so squashes do not race. branchQ holds
+	// exactly the unresolved in-flight branches ascending; a correct
+	// resolution removes index i (the next branch slides into it), a
+	// mispredict squashes the rest of the queue.
+	for i := 0; i < len(c.branchQ); {
+		e := c.entry(c.branchQ[i])
+		if e == nil {
+			c.branchQ = append(c.branchQ[:i], c.branchQ[i+1:]...)
 			continue
 		}
-		if e.isBranch && e.state == stExecuting && e.doneAt <= c.cycle {
+		if e.state == stExecuting && e.doneAt <= c.cycle {
 			if mispredicted := c.resolveBranch(e); mispredicted {
 				break // squash flushed everything younger
 			}
+			continue // e left branchQ; same index is the next branch
 		}
+		i++
 	}
 }
 
 func (c *Core) resolveBranch(e *robEntry) (mispredicted bool) {
 	e.brResolved = true
 	e.state = stDone
+	c.branchQ = seqRemove(c.branchQ, e.seq)
 	in := e.inst
 	taken := e.brTaken
 	correct := e.predTaken == taken && (!taken || e.predTarget == e.actualNext)
-	c.trace("cycle %d: resolve seq=%d pc=%#x %v -> %#x (pred taken=%v tgt=%#x, %s)",
-		c.cycle, e.seq, e.pc, in, e.actualNext, e.predTaken, e.predTarget,
-		map[bool]string{true: "correct", false: "MISPREDICT"}[correct])
+	if c.TraceFn != nil {
+		c.trace("cycle %d: resolve seq=%d pc=%#x %v -> %#x (pred taken=%v tgt=%#x, %s)",
+			c.cycle, e.seq, e.pc, in, e.actualNext, e.predTaken, e.predTarget,
+			map[bool]string{true: "correct", false: "MISPREDICT"}[correct])
+	}
 
 	// Train the predictors.
 	switch in.Op {
@@ -574,17 +724,80 @@ func (c *Core) resolveBranch(e *robEntry) (mispredicted bool) {
 	}
 	if correct {
 		c.Stats.Inc("branches_correct")
+		// The link-register result becomes visible now (doneAt <= cycle);
+		// wake dependents exactly when the old polling would have seen it.
+		c.fireConsumers(e)
 		return false
 	}
 	c.Stats.Inc("branches_mispredicted")
-	c.Stats.Inc("mispred_" + in.Op.String())
+	c.Stats.Inc(mispredKey(in.Op))
+	// Every registered consumer is younger and about to be squashed; drop
+	// them so the seqs cannot alias to re-dispatched instructions.
+	e.consumers = e.consumers[:0]
 	c.squashAfter(e.seq, e.actualNext)
 	return true
+}
+
+// mispredKey returns the per-op mispredict counter name without building the
+// string in the hot path.
+func mispredKey(op isa.Op) string {
+	switch op {
+	case isa.B:
+		return "mispred_B"
+	case isa.BL:
+		return "mispred_BL"
+	case isa.BCC:
+		return "mispred_B." // matches isa.BCC.String()
+	case isa.CBZ:
+		return "mispred_CBZ"
+	case isa.CBNZ:
+		return "mispred_CBNZ"
+	case isa.BR:
+		return "mispred_BR"
+	case isa.BLR:
+		return "mispred_BLR"
+	case isa.RET:
+		return "mispred_RET"
+	}
+	return "mispred_" + op.String()
+}
+
+// restoreRAT unwinds the rename map table for a squash keeping boundary as
+// the youngest surviving instruction. It runs before the entries are
+// released (their prevProd chains are still intact), youngest-first so
+// displacement chains unwind in reverse claim order: a restored value that
+// is itself a squashed producer is older than the current entry and gets
+// unwound when the loop reaches it.
+func (c *Core) restoreRAT(boundary uint64) {
+	var dsts [2]isa.Reg
+	for s := c.nextSeq - 1; s > boundary; s-- {
+		e := &c.rob[s%uint64(len(c.rob))]
+		if !e.valid || e.seq != s {
+			continue
+		}
+		for i, d := range e.inst.Dsts(dsts[:0]) {
+			if c.rat[d] == s {
+				v := e.prevProd[i]
+				if v != 0 && v <= boundary && c.entry(v) == nil {
+					v = 0 // displaced producer committed since dispatch
+				}
+				c.rat[d] = v
+			}
+		}
+		if e.tookFlags && c.ratFlags == s {
+			v := e.prevFlags
+			if v != 0 && v <= boundary && c.entry(v) == nil {
+				v = 0
+			}
+			c.ratFlags = v
+		}
+	}
 }
 
 // squashAfter flushes every instruction younger than seq and redirects
 // fetch to target.
 func (c *Core) squashAfter(seq uint64, target uint64) {
+	c.restoreRAT(seq)
 	for s := seq + 1; s < c.nextSeq; s++ {
 		e := &c.rob[s%uint64(len(c.rob))]
 		if !e.valid {
@@ -593,7 +806,11 @@ func (c *Core) squashAfter(seq uint64, target uint64) {
 		c.releaseEntry(e, true)
 	}
 	c.nextSeq = seq + 1
+	if c.incompleteFrom > c.nextSeq {
+		c.incompleteFrom = c.nextSeq
+	}
 	c.fetchQ = c.fetchQ[:0]
+	c.fqHead = 0
 	c.fetchPC = target
 	c.fetchStallTo = c.cycle + 2 // redirect penalty
 	c.fetchBlockedBy = 0
@@ -601,24 +818,64 @@ func (c *Core) squashAfter(seq uint64, target uint64) {
 		c.shadowStack = c.shadowStack[:0]
 	}
 	c.Stats.Inc("squashes")
-	c.trace("cycle %d: squash younger than seq=%d, refetch %#x", c.cycle, seq, target)
+	if c.TraceFn != nil {
+		c.trace("cycle %d: squash younger than seq=%d, refetch %#x", c.cycle, seq, target)
+	}
 }
 
-// releaseEntry tears down per-entry resources (squash path).
+// releaseEntry tears down per-entry resources: queue membership, rename-map
+// claims (commit path; squash unwinding happens in restoreRAT first), and —
+// on the squash path — this entry's registrations on surviving producers'
+// consumer lists, so a reused seq can never alias a stale wakeup.
 func (c *Core) releaseEntry(e *robEntry, squashed bool) {
 	if e.state == stDispatched {
 		c.iqCount--
 	}
+	if e.inReadyQ {
+		e.inReadyQ = false
+		c.readyQ = seqRemove(c.readyQ, e.seq)
+	}
+	if e.inRiskQ {
+		e.inRiskQ = false
+		c.riskQ = seqRemove(c.riskQ, e.seq)
+	}
 	if e.isLoad {
 		c.lqCount--
+		c.loadQ = seqRemove(c.loadQ, e.seq)
 	}
 	if e.isStore {
 		c.sqCount--
+		c.storeQ = seqRemove(c.storeQ, e.seq)
+		if !e.addrReady {
+			c.unresolvedStores--
+		}
+		if e.inst.Op == isa.STG || e.inst.Op == isa.ST2G {
+			c.tagWritesInFlight--
+		}
+	}
+	if e.inst.Op == isa.SWPAL || e.inst.Op == isa.DSB {
+		c.barrierQ = seqRemove(c.barrierQ, e.seq)
 	}
 	if e.isLoad || e.isStore {
 		c.tsh.Release(e.seq)
 	}
 	if squashed {
+		if e.isBranch && !e.brResolved {
+			c.branchQ = seqRemove(c.branchQ, e.seq)
+		}
+		// Unregister from surviving producers (released producers are older
+		// and already invalid here; entry() returns nil for them).
+		for i := range e.srcs {
+			if p := c.entry(e.srcs[i].producer); p != nil && len(p.consumers) > 0 {
+				p.consumers = seqRemoveAll(p.consumers, e.seq)
+			}
+		}
+		if e.flagsFrom != 0 {
+			if p := c.entry(e.flagsFrom); p != nil && len(p.consumers) > 0 {
+				p.consumers = seqRemoveAll(p.consumers, e.seq)
+			}
+		}
+		e.consumers = e.consumers[:0]
 		if c.Rec != nil {
 			c.Rec.onSquash(c, e)
 		}
@@ -627,6 +884,18 @@ func (c *Core) releaseEntry(e *robEntry, squashed bool) {
 		}
 		c.promoteCandidates(e.seq)
 		c.Stats.Inc("squashed_insts")
+	} else {
+		// Commit: this entry's map-table claims revert to the committed
+		// register file.
+		var dsts [2]isa.Reg
+		for _, d := range e.inst.Dsts(dsts[:0]) {
+			if c.rat[d] == e.seq {
+				c.rat[d] = 0
+			}
+		}
+		if e.tookFlags && c.ratFlags == e.seq {
+			c.ratFlags = 0
+		}
 	}
 	e.valid = false
 }
@@ -747,6 +1016,7 @@ func (c *Core) raiseFault(e *robEntry) {
 	// The faulting instruction and everything younger is squashed; its
 	// transient dependents' candidate events become real leaks.
 	c.promoteCandidates(e.seq)
+	c.restoreRAT(e.seq - 1)
 	for s := e.seq; s < c.nextSeq; s++ {
 		en := &c.rob[s%uint64(len(c.rob))]
 		if en.valid {
@@ -754,8 +1024,12 @@ func (c *Core) raiseFault(e *robEntry) {
 		}
 	}
 	c.nextSeq = e.seq
+	if c.incompleteFrom > c.nextSeq {
+		c.incompleteFrom = c.nextSeq
+	}
 	if c.FaultHandler != 0 {
 		c.fetchQ = c.fetchQ[:0]
+		c.fqHead = 0
 		c.fetchPC = c.FaultHandler
 		c.fetchStallTo = c.cycle + 8 // trap latency
 		c.fetchBlockedBy = 0

@@ -9,13 +9,15 @@ import (
 // policyBlocksIssue applies the active mitigation's issue-time gates.
 // SpecASan itself never blocks here (its selective delay happens at the
 // memory response); the gates below model the defences the paper compares
-// against, plus the delay-all ablation of SpecASan.
+// against, plus the delay-all ablation of SpecASan. The returned reason is
+// the full stat key (constants, not built by concatenation: this runs every
+// cycle for every blocked entry and must not allocate).
 func (c *Core) policyBlocksIssue(e *robEntry) (bool, string) {
 	in := e.inst
 
 	// Structural, not a mitigation: atomics and barriers run at the head.
 	if in.Op == isa.SWPAL && (e.seq != c.headSeq || c.speculative(e)) {
-		return true, "atomic"
+		return true, "policy_block_atomic"
 	}
 
 	// Speculative barriers (lfence-style): a load issues only when every
@@ -23,7 +25,7 @@ func (c *Core) policyBlocksIssue(e *robEntry) (bool, string) {
 	// before each memory access (the delay-ACCESS defence class of
 	// Figure 1).
 	if c.fenceOn && e.isLoad && c.olderIncomplete(e.seq) {
-		return true, "fence"
+		return true, "policy_block_fence"
 	}
 
 	// STT: "transmit" instructions with tainted operands are delayed until
@@ -33,7 +35,7 @@ func (c *Core) policyBlocksIssue(e *robEntry) (bool, string) {
 	if c.taintOn {
 		transmit := e.isLoad || e.isStore || e.isBranch
 		if transmit && c.entryTainted(e) != 0 {
-			return true, "stt"
+			return true, "policy_block_stt"
 		}
 	}
 
@@ -46,7 +48,7 @@ func (c *Core) policyBlocksIssue(e *robEntry) (bool, string) {
 			rm, _ = c.readSource2(e, in.Rm)
 		}
 		if mte.Key(isa.EffAddr(in, rn, rm)) != 0 {
-			return true, "delay_all"
+			return true, "policy_block_delay_all"
 		}
 	}
 	return false, ""

@@ -1,0 +1,96 @@
+package cpu
+
+// Small incremental structures backing the O(1) rename/wakeup pipeline (see
+// DESIGN.md, "Performance of the substrate"). All of them hold instruction
+// sequence numbers, are bounded by the ROB window, and are kept exact by
+// dispatch/release so the stages they serve never rescan the window.
+
+// seqRemove deletes one occurrence of v from the ascending seq list q,
+// searching from the back (removals are dominated by squashes, which kill
+// the youngest suffix). It is a no-op when v is absent.
+func seqRemove(q []uint64, v uint64) []uint64 {
+	for i := len(q) - 1; i >= 0; i-- {
+		if q[i] == v {
+			copy(q[i:], q[i+1:])
+			return q[:len(q)-1]
+		}
+	}
+	return q
+}
+
+// seqRemoveAll deletes every occurrence of v from q (a consumer registered
+// once per renamed source can appear twice on a producer's wakeup list).
+func seqRemoveAll(q []uint64, v uint64) []uint64 {
+	n := 0
+	for _, x := range q {
+		if x != v {
+			q[n] = x
+			n++
+		}
+	}
+	return q[:n]
+}
+
+// insertionSortU64 sorts q ascending in place. The ready queue is nearly
+// sorted (out-of-order inserts only come from wakeups), so insertion sort
+// beats the allocation and indirection of sort.Slice in the hot loop.
+func insertionSortU64(q []uint64) {
+	for i := 1; i < len(q); i++ {
+		v := q[i]
+		j := i - 1
+		for j >= 0 && q[j] > v {
+			q[j+1] = q[j]
+			j--
+		}
+		q[j+1] = v
+	}
+}
+
+// wakeEvent schedules consumer wakeup for a producer whose result becomes
+// available at a future cycle.
+type wakeEvent struct {
+	at  uint64 // cycle the producer's result is available
+	seq uint64 // producer sequence number
+}
+
+// wakePush inserts ev into the min-heap ordered by (at, seq).
+func wakePush(h *[]wakeEvent, ev wakeEvent) {
+	q := append(*h, ev)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if q[p].at < q[i].at || (q[p].at == q[i].at && q[p].seq <= q[i].seq) {
+			break
+		}
+		q[p], q[i] = q[i], q[p]
+		i = p
+	}
+	*h = q
+}
+
+// wakePop removes and returns the earliest event. The caller checks len>0.
+func wakePop(h *[]wakeEvent) wakeEvent {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && (q[l].at < q[m].at || (q[l].at == q[m].at && q[l].seq < q[m].seq)) {
+			m = l
+		}
+		if r < n && (q[r].at < q[m].at || (q[r].at == q[m].at && q[r].seq < q[m].seq)) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+	*h = q
+	return top
+}

@@ -3,6 +3,8 @@ package cpu
 import (
 	"fmt"
 	"strings"
+
+	"specasan/internal/isa"
 )
 
 // SimError is a structured simulation failure: a wedged pipeline or a broken
@@ -103,6 +105,8 @@ func (c *Core) checkInvariants() (kind, detail string) {
 		return "rob-invariant", fmt.Sprintf("%d in flight exceeds %d ROB entries", c.robCount(), len(c.rob))
 	}
 	iq, lq, sq := 0, 0, 0
+	unresolved, tagWrites := 0, 0
+	branches, barriers := 0, 0
 	for s := c.headSeq; s < c.nextSeq; s++ {
 		e := &c.rob[s%uint64(len(c.rob))]
 		if !e.valid {
@@ -120,6 +124,18 @@ func (c *Core) checkInvariants() (kind, detail string) {
 		}
 		if e.isStore {
 			sq++
+			if !e.addrReady {
+				unresolved++
+			}
+			if e.inst.Op == isa.STG || e.inst.Op == isa.ST2G {
+				tagWrites++
+			}
+		}
+		if e.isBranch && !e.brResolved {
+			branches++
+		}
+		if e.inst.Op == isa.SWPAL || e.inst.Op == isa.DSB {
+			barriers++
 		}
 	}
 	if iq != c.iqCount {
@@ -130,6 +146,60 @@ func (c *Core) checkInvariants() (kind, detail string) {
 	}
 	if sq != c.sqCount || c.sqCount > c.cfg.SQEntries {
 		return "lsq-invariant", fmt.Sprintf("SQ counter %d (cap %d), recount %d", c.sqCount, c.cfg.SQEntries, sq)
+	}
+	// Incremental-structure invariants: the counters and seq queues the O(1)
+	// rename/wakeup pipeline maintains must agree with a recount of the
+	// window (see DESIGN.md, "Performance of the substrate").
+	if unresolved != c.unresolvedStores {
+		return "lsq-invariant", fmt.Sprintf("unresolvedStores counter %d, recount %d", c.unresolvedStores, unresolved)
+	}
+	if tagWrites != c.tagWritesInFlight {
+		return "lsq-invariant", fmt.Sprintf("tagWritesInFlight counter %d, recount %d", c.tagWritesInFlight, tagWrites)
+	}
+	if kind, detail := c.checkQueue("loadQ", c.loadQ, lq, func(e *robEntry) bool { return e.isLoad }); kind != "" {
+		return kind, detail
+	}
+	if kind, detail := c.checkQueue("storeQ", c.storeQ, sq, func(e *robEntry) bool { return e.isStore }); kind != "" {
+		return kind, detail
+	}
+	if kind, detail := c.checkQueue("branchQ", c.branchQ, branches,
+		func(e *robEntry) bool { return e.isBranch && !e.brResolved }); kind != "" {
+		return kind, detail
+	}
+	if kind, detail := c.checkQueue("barrierQ", c.barrierQ, barriers,
+		func(e *robEntry) bool { return e.inst.Op == isa.SWPAL || e.inst.Op == isa.DSB }); kind != "" {
+		return kind, detail
+	}
+	// The rename map table must match what a window scan would compute —
+	// the exact scan dispatch used to run per source operand.
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		if want := c.youngestProducerScan(r, c.nextSeq); c.rat[r] != want {
+			return "rob-invariant", fmt.Sprintf("rat[%v]=%d, window scan says %d", r, c.rat[r], want)
+		}
+	}
+	if want := c.youngestFlagsProducerScan(c.nextSeq); c.ratFlags != want {
+		return "rob-invariant", fmt.Sprintf("ratFlags=%d, window scan says %d", c.ratFlags, want)
+	}
+	return "", ""
+}
+
+// checkQueue validates one incremental seq queue: ascending order, live
+// membership of the right entry kind, and a length matching the recount.
+func (c *Core) checkQueue(name string, q []uint64, want int, member func(*robEntry) bool) (string, string) {
+	if len(q) != want {
+		return "rob-invariant", fmt.Sprintf("%s holds %d entries, recount %d", name, len(q), want)
+	}
+	for i, s := range q {
+		if i > 0 && q[i-1] >= s {
+			return "rob-invariant", fmt.Sprintf("%s not ascending at index %d (%d after %d)", name, i, s, q[i-1])
+		}
+		e := c.entry(s)
+		if e == nil {
+			return "rob-invariant", fmt.Sprintf("%s holds dead seq %d", name, s)
+		}
+		if !member(e) {
+			return "rob-invariant", fmt.Sprintf("%s holds seq %d which no longer qualifies", name, s)
+		}
 	}
 	return "", ""
 }
@@ -149,7 +219,7 @@ var stateNames = map[entryState]string{
 func (c *Core) StallSnapshot() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "core %d @cycle %d: fetchPC=%#x stallTo=%d blockedBy=%d fetchQ=%d\n",
-		c.ID, c.cycle, c.fetchPC, c.fetchStallTo, c.fetchBlockedBy, len(c.fetchQ))
+		c.ID, c.cycle, c.fetchPC, c.fetchStallTo, c.fetchBlockedBy, c.fqLen())
 	fmt.Fprintf(&b, "  rob head=%d next=%d inflight=%d iq=%d lq=%d sq=%d lastCommit=%d\n",
 		c.headSeq, c.nextSeq, c.robCount(), c.iqCount, c.lqCount, c.sqCount, c.lastCommitCycle)
 	const maxLines = 48

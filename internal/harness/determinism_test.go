@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"specasan/internal/core"
+	"specasan/internal/workloads"
+)
+
+// sweepFingerprint flattens everything observable about a sweep — results,
+// errors, and the verbose log bytes — into one comparable string.
+func sweepFingerprint(sw *Sweep, log *bytes.Buffer) string {
+	var b bytes.Buffer
+	for _, bench := range sw.Benchmarks {
+		for _, mit := range sw.Mitigations {
+			if err := sw.Errors[bench][mit]; err != nil {
+				fmt.Fprintf(&b, "%s/%v: err=%v\n", bench, mit, err)
+				continue
+			}
+			r := sw.Results[bench][mit]
+			fmt.Fprintf(&b, "%s/%v: cycles=%d committed=%d restricted=%d\n",
+				bench, mit, r.Cycles, r.Committed, r.Restricted)
+		}
+	}
+	fmt.Fprintf(&b, "--- log ---\n%s", log.String())
+	return b.String()
+}
+
+// TestRunSweepParallelDeterminism is the parallel-harness contract: for the
+// same inputs, RunSweep with a worker pool must produce results, errors, and
+// verbose log output byte-identical to the serial path.
+func TestRunSweepParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	specs := []*workloads.Spec{
+		workloads.ByName("508.namd_r"),
+		workloads.ByName("505.mcf_r"),
+	}
+	for _, s := range specs {
+		if s == nil {
+			t.Fatal("workload missing")
+		}
+	}
+	mits := []core.Mitigation{core.Unsafe, core.Fence, core.SpecASan}
+
+	run := func(workers int) string {
+		var log bytes.Buffer
+		opt := Options{
+			Scale: 0.02, MaxCycles: 50_000_000,
+			Verbose: true, Log: &log, Workers: workers,
+		}
+		sw, err := RunSweep(specs, mits, opt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return sweepFingerprint(sw, &log)
+	}
+
+	serial := run(1)
+	for _, workers := range []int{2, 4} {
+		if got := run(workers); got != serial {
+			t.Errorf("workers=%d diverges from serial:\n-- serial --\n%s\n-- workers=%d --\n%s",
+				workers, serial, workers, got)
+		}
+	}
+}

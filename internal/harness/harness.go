@@ -4,6 +4,7 @@
 package harness
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -14,6 +15,7 @@ import (
 	"specasan/internal/core"
 	"specasan/internal/cpu"
 	"specasan/internal/isa"
+	"specasan/internal/par"
 	"specasan/internal/stats"
 	"specasan/internal/workloads"
 )
@@ -33,6 +35,11 @@ type Options struct {
 	// Verbose prints one line per completed run to Log.
 	Verbose bool
 	Log     io.Writer
+	// Workers bounds sweep-cell concurrency: 0 means GOMAXPROCS, 1 forces
+	// the serial path. Results and log output are deterministic and
+	// byte-identical for every value (cells are independent machines; logs
+	// are buffered per cell and flushed in cell order).
+	Workers int
 }
 
 // DefaultOptions are suitable for the command-line tools.
@@ -132,41 +139,81 @@ func (s *Sweep) FailedCells() []string {
 // gets before it is declared failed.
 const timeoutRetryFactor = 4
 
-// RunSweep executes every benchmark under every mitigation. It degrades
-// gracefully: a cell that fails is recorded in Sweep.Errors and the sweep
-// continues, so one wedged benchmark costs one table cell, not the whole
-// figure. Timed-out cells are retried once with a MaxCycles budget escalated
-// by timeoutRetryFactor (slow-but-finite runs recover; true hangs fail
-// twice). The returned error is non-nil only when every cell failed.
+// runCell executes one (benchmark, mitigation) cell, including the single
+// escalated-budget retry for timeouts. All log output goes through opt, so a
+// caller can hand it a cell-local buffer and replay it deterministically.
+func runCell(spec *workloads.Spec, mit core.Mitigation, opt Options) (*PerfResult, error) {
+	r, err := RunBenchmark(spec, mit, opt)
+	if err != nil && errors.Is(err, ErrTimedOut) {
+		retry := opt
+		retry.MaxCycles = opt.MaxCycles * timeoutRetryFactor
+		opt.logf("  %-18s %-12s timed out; retrying with %d-cycle budget",
+			spec.Name, mit, retry.MaxCycles)
+		r, err = RunBenchmark(spec, mit, retry)
+	}
+	if err != nil {
+		opt.logf("  %-18s %-12s FAILED: %v", spec.Name, mit, err)
+	}
+	return r, err
+}
+
+// RunSweep executes every benchmark under every mitigation, running up to
+// opt.Workers cells concurrently (each cell is an independent simulated
+// machine). It degrades gracefully: a cell that fails is recorded in
+// Sweep.Errors and the sweep continues, so one wedged benchmark costs one
+// table cell, not the whole figure. Timed-out cells are retried once with a
+// MaxCycles budget escalated by timeoutRetryFactor (slow-but-finite runs
+// recover; true hangs fail twice). The returned error is non-nil only when
+// every cell failed.
+//
+// Determinism contract: results, errors, and every byte written to opt.Log
+// are identical for any worker count. Per-cell log output is captured in a
+// cell-local buffer and flushed to opt.Log in cell order (benchmark-major,
+// mitigation-minor) as the completed prefix grows.
 func RunSweep(specs []*workloads.Spec, mits []core.Mitigation, opt Options) (*Sweep, error) {
 	sw := &Sweep{
 		Mitigations: mits,
 		Results:     make(map[string]map[core.Mitigation]*PerfResult),
 		Errors:      make(map[string]map[core.Mitigation]error),
 	}
-	ran := 0
 	for _, spec := range specs {
 		sw.Benchmarks = append(sw.Benchmarks, spec.Name)
 		sw.Results[spec.Name] = make(map[core.Mitigation]*PerfResult)
 		sw.Errors[spec.Name] = make(map[core.Mitigation]error)
+	}
+	type cell struct {
+		spec *workloads.Spec
+		mit  core.Mitigation
+		res  *PerfResult
+		err  error
+		log  bytes.Buffer
+	}
+	cells := make([]cell, 0, len(specs)*len(mits))
+	for _, spec := range specs {
 		for _, mit := range mits {
-			r, err := RunBenchmark(spec, mit, opt)
-			if err != nil && errors.Is(err, ErrTimedOut) {
-				retry := opt
-				retry.MaxCycles = opt.MaxCycles * timeoutRetryFactor
-				opt.logf("  %-18s %-12s timed out; retrying with %d-cycle budget",
-					spec.Name, mit, retry.MaxCycles)
-				r, err = RunBenchmark(spec, mit, retry)
-			}
-			if err != nil {
-				opt.logf("  %-18s %-12s FAILED: %v", spec.Name, mit, err)
-				sw.Errors[spec.Name][mit] = err
-				continue
-			}
-			ran++
-			sw.Results[spec.Name][mit] = r
+			cells = append(cells, cell{spec: spec, mit: mit})
 		}
 	}
+	ran := 0
+	par.ForEachOrdered(len(cells), opt.Workers,
+		func(i int) {
+			c := &cells[i]
+			cellOpt := opt
+			cellOpt.Log = &c.log
+			c.res, c.err = runCell(c.spec, c.mit, cellOpt)
+		},
+		func(i int) {
+			c := &cells[i]
+			if opt.Log != nil {
+				io.Copy(opt.Log, &c.log)
+			}
+			if c.err != nil {
+				sw.Errors[c.spec.Name][c.mit] = c.err
+				return
+			}
+			ran++
+			sw.Results[c.spec.Name][c.mit] = c.res
+		})
 	if ran == 0 && len(specs) > 0 && len(mits) > 0 {
 		return sw, fmt.Errorf("sweep: all %d cells failed (first: %v)",
 			len(specs)*len(mits), sw.Errors[specs[0].Name][mits[0]])

@@ -1,0 +1,233 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"specasan/internal/core"
+	"specasan/internal/cpu"
+	"specasan/internal/isa"
+	"specasan/internal/par"
+	"specasan/internal/workloads"
+)
+
+// PerfSchema versions the BENCH_sim.json layout.
+const PerfSchema = "specasan-bench/perf/v1"
+
+// PerfBaseline pins the pre-optimisation numbers the current build is
+// compared against: the linear-scan core and serial sweep harness as of the
+// chaos-layer commit, measured with BenchmarkMachineStep on the same recipe
+// (508.namd_r, scale 10, no mitigation) as SingleCorePerf. Host-specific,
+// like every wall-clock figure in the report.
+type PerfBaseline struct {
+	Description    string  `json:"description"`
+	HostNsPerCycle float64 `json:"host_ns_per_simulated_cycle"`
+	SimInstsPerSec float64 `json:"simulated_insts_per_second"`
+}
+
+// ReferenceBaseline returns the recorded pre-optimisation measurement.
+func ReferenceBaseline() PerfBaseline {
+	return PerfBaseline{
+		Description:    "linear-scan core + serial harness (pre O(1) rename/wakeup)",
+		HostNsPerCycle: 4175,
+		SimInstsPerSec: 879_294,
+	}
+}
+
+// SingleCorePerf is the steady-state Machine.Step measurement: how many host
+// nanoseconds one simulated cycle costs, and whether the hot loop allocates.
+type SingleCorePerf struct {
+	Workload           string  `json:"workload"`
+	Mitigation         string  `json:"mitigation"`
+	Steps              uint64  `json:"steps"`
+	Committed          uint64  `json:"committed_instructions"`
+	HostNsPerCycle     float64 `json:"host_ns_per_simulated_cycle"`
+	SimInstsPerSec     float64 `json:"simulated_insts_per_second"`
+	SimMIPS            float64 `json:"simulated_mips"`
+	AllocsPerStep      float64 `json:"allocs_per_step"`
+	AllocsPerCommitted float64 `json:"allocs_per_committed_instr"`
+}
+
+// SweepPerf is the harness-level measurement: wall time of one normalized-
+// execution-time sweep on the worker pool, against the serial path on the
+// same host and inputs.
+type SweepPerf struct {
+	Workloads         int     `json:"workloads"`
+	Mitigations       int     `json:"mitigations"`
+	Cells             int     `json:"cells"`
+	Scale             float64 `json:"scale"`
+	Workers           int     `json:"workers"`
+	WallSeconds       float64 `json:"wall_seconds"`
+	SerialWallSeconds float64 `json:"serial_wall_seconds"`
+	Speedup           float64 `json:"speedup_vs_serial"`
+}
+
+// PerfReport is the schema of BENCH_sim.json, the tracked performance
+// baseline of the simulator substrate.
+type PerfReport struct {
+	Schema            string       `json:"schema"`
+	GeneratedAt       string       `json:"generated_at"`
+	GoMaxProcs        int          `json:"gomaxprocs"`
+	SingleCore        SingleCorePerf `json:"single_core"`
+	Sweep             SweepPerf    `json:"sweep"`
+	Baseline          PerfBaseline `json:"baseline"`
+	SingleCoreSpeedup float64      `json:"single_core_speedup_vs_baseline"`
+}
+
+// perfWorkload is the fixed single-core measurement recipe; it matches
+// internal/cpu's BenchmarkMachineStep so BENCH_sim.json and the microbench
+// track the same hot loop.
+const (
+	perfWorkloadName  = "508.namd_r"
+	perfWorkloadScale = 10
+	perfWarmupSteps   = 2000
+)
+
+func perfMachine() (*cpu.Machine, int, error) {
+	spec := workloads.ByName(perfWorkloadName)
+	if spec == nil {
+		return nil, 0, fmt.Errorf("workload %s missing", perfWorkloadName)
+	}
+	prog, err := spec.Build(false, perfWorkloadScale)
+	if err != nil {
+		return nil, 0, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.Cores = spec.Threads
+	m, err := cpu.NewMachine(cfg, core.Unsafe, prog)
+	if err != nil {
+		return nil, 0, err
+	}
+	for i := 0; i < spec.Threads; i++ {
+		m.Core(i).SetReg(isa.X0, uint64(i))
+	}
+	return m, spec.Threads, nil
+}
+
+func machineCommitted(m *cpu.Machine, cores int) uint64 {
+	var total uint64
+	for i := 0; i < cores; i++ {
+		total += m.Core(i).Committed()
+	}
+	return total
+}
+
+// MeasureSingleCore runs the fixed recipe for `steps` steady-state steps and
+// reports host ns per simulated cycle, simulated instruction throughput, and
+// allocation counts (from runtime.MemStats deltas, so the figure includes
+// every allocation the step path causes, not just those in internal/cpu).
+func MeasureSingleCore(steps uint64) (SingleCorePerf, error) {
+	m, cores, err := perfMachine()
+	if err != nil {
+		return SingleCorePerf{}, err
+	}
+	for i := 0; i < perfWarmupSteps && !m.Done(); i++ {
+		m.Step()
+	}
+	if m.Done() {
+		return SingleCorePerf{}, fmt.Errorf("perf workload halted during warmup")
+	}
+	committed0 := machineCommitted(m, cores)
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	var done uint64
+	for ; done < steps && !m.Done(); done++ {
+		m.Step()
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	committed := machineCommitted(m, cores) - committed0
+	if done == 0 || committed == 0 {
+		return SingleCorePerf{}, fmt.Errorf("perf workload too small: %d steps, %d commits", done, committed)
+	}
+	allocs := float64(ms1.Mallocs - ms0.Mallocs)
+	perSec := float64(committed) / wall.Seconds()
+	return SingleCorePerf{
+		Workload:           perfWorkloadName,
+		Mitigation:         core.Unsafe.String(),
+		Steps:              done,
+		Committed:          committed,
+		HostNsPerCycle:     float64(wall.Nanoseconds()) / float64(done),
+		SimInstsPerSec:     perSec,
+		SimMIPS:            perSec / 1e6,
+		AllocsPerStep:      allocs / float64(done),
+		AllocsPerCommitted: allocs / float64(committed),
+	}, nil
+}
+
+// MeasureSweep times one Figure 6-style sweep twice — serial, then on the
+// worker pool — and reports both wall times. Logging is disabled for the
+// measurement; the determinism tests cover output equivalence separately.
+func MeasureSweep(specs []*workloads.Spec, mits []core.Mitigation, opt Options) (SweepPerf, error) {
+	opt.Verbose = false
+	opt.Log = nil
+
+	serialOpt := opt
+	serialOpt.Workers = 1
+	start := time.Now()
+	if _, err := RunSweep(specs, mits, serialOpt); err != nil {
+		return SweepPerf{}, err
+	}
+	serialWall := time.Since(start)
+
+	start = time.Now()
+	if _, err := RunSweep(specs, mits, opt); err != nil {
+		return SweepPerf{}, err
+	}
+	wall := time.Since(start)
+
+	sp := SweepPerf{
+		Workloads:         len(specs),
+		Mitigations:       len(mits),
+		Cells:             len(specs) * len(mits),
+		Scale:             opt.Scale,
+		Workers:           par.Workers(opt.Workers, len(specs)*len(mits)),
+		WallSeconds:       wall.Seconds(),
+		SerialWallSeconds: serialWall.Seconds(),
+	}
+	if wall > 0 {
+		sp.Speedup = serialWall.Seconds() / wall.Seconds()
+	}
+	return sp, nil
+}
+
+// MeasurePerf produces the full report: single-core steady state plus the
+// serial-vs-parallel sweep comparison.
+func MeasurePerf(steps uint64, specs []*workloads.Spec, mits []core.Mitigation, opt Options) (*PerfReport, error) {
+	single, err := MeasureSingleCore(steps)
+	if err != nil {
+		return nil, err
+	}
+	sweep, err := MeasureSweep(specs, mits, opt)
+	if err != nil {
+		return nil, err
+	}
+	base := ReferenceBaseline()
+	rep := &PerfReport{
+		Schema:      PerfSchema,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		SingleCore:  single,
+		Sweep:       sweep,
+		Baseline:    base,
+	}
+	if single.HostNsPerCycle > 0 {
+		rep.SingleCoreSpeedup = base.HostNsPerCycle / single.HostNsPerCycle
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report to path, pretty-printed with a trailing
+// newline so it diffs cleanly under version control.
+func (r *PerfReport) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,89 @@
+// Package par provides the deterministic worker-pool primitive the harness
+// and chaos layers parallelise on: results are produced concurrently but
+// observed strictly in index order, so parallel output is byte-identical to
+// the serial path.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count option: n <= 0 means GOMAXPROCS, and the
+// pool never exceeds the number of items.
+func Workers(n, items int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > items {
+		n = items
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ForEachOrdered runs fn(i) for every i in [0, n) on a bounded pool and
+// calls flush(i) exactly once per index, in ascending index order, after
+// fn(i) has returned. fn runs concurrently and must only touch index-local
+// state; flush observes the results and is always called from a single
+// goroutine at a time with all earlier indices already flushed — the place
+// to write logs, update shared maps, or render output deterministically.
+//
+// With workers <= 1 the loop degenerates to the plain serial interleaving
+// (fn(0), flush(0), fn(1), flush(1), ...), which doubles as the reference
+// ordering the parallel path must reproduce.
+func ForEachOrdered(n, workers int, fn func(i int), flush func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if Workers(workers, n) == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+			if flush != nil {
+				flush(i)
+			}
+		}
+		return
+	}
+	workers = Workers(workers, n)
+
+	var (
+		mu        sync.Mutex
+		done      = make([]bool, n)
+		nextFlush int
+		next      int
+		wg        sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				fn(i)
+				mu.Lock()
+				done[i] = true
+				// Flush the completed prefix. Only the goroutine that
+				// completes index nextFlush advances the cursor, so flush
+				// calls are serialised and ascending.
+				for nextFlush < n && done[nextFlush] {
+					j := nextFlush
+					if flush != nil {
+						flush(j)
+					}
+					nextFlush++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}

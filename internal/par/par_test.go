@@ -1,0 +1,50 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachOrderedFlushOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		const n = 200
+		var ran [n]int32
+		var flushed []int
+		ForEachOrdered(n, workers,
+			func(i int) { atomic.AddInt32(&ran[i], 1) },
+			func(i int) { flushed = append(flushed, i) })
+		for i := range ran {
+			if ran[i] != 1 {
+				t.Fatalf("workers=%d: fn(%d) ran %d times", workers, i, ran[i])
+			}
+		}
+		if len(flushed) != n {
+			t.Fatalf("workers=%d: %d flushes, want %d", workers, len(flushed), n)
+		}
+		for i, v := range flushed {
+			if v != i {
+				t.Fatalf("workers=%d: flush order %v... not ascending at %d", workers, flushed[:i+1], i)
+			}
+		}
+	}
+}
+
+func TestForEachOrderedNilFlush(t *testing.T) {
+	var count int32
+	ForEachOrdered(50, 4, func(i int) { atomic.AddInt32(&count, 1) }, nil)
+	if count != 50 {
+		t.Fatalf("ran %d, want 50", count)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3, 10); got != 3 {
+		t.Errorf("Workers(3,10)=%d", got)
+	}
+	if got := Workers(8, 2); got != 2 {
+		t.Errorf("Workers(8,2)=%d, want clamped to items", got)
+	}
+	if got := Workers(0, 100); got < 1 {
+		t.Errorf("Workers(0,100)=%d", got)
+	}
+}

@@ -1,0 +1,49 @@
+// Package prof wires the stdlib runtime/pprof profilers into the
+// command-line tools, so a slow sweep can be diagnosed with
+// `-cpuprofile cpu.out` + `go tool pprof` without extra dependencies.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (when non-empty). The returned stop
+// function ends the CPU profile and, when memPath is non-empty, writes a
+// heap profile after a final GC. Call stop exactly once, on every exit path
+// that should produce profiles (defer works).
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("start CPU profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // report live heap, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("write heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}
