@@ -17,11 +17,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"specasan/internal/attacks"
 	"specasan/internal/core"
 	"specasan/internal/cpu"
 	"specasan/internal/harness"
+	"specasan/internal/obs"
 	"specasan/internal/prof"
 	"specasan/internal/workloads"
 )
@@ -38,6 +40,9 @@ func main() {
 	perfOut := flag.String("perf-out", "BENCH_sim.json", "where -perf writes its report")
 	scale := flag.Float64("scale", 1.0, "kernel iteration scale")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	traceCell := flag.String("trace", "", "record a Chrome trace of one sweep cell, named benchmark/mitigation (e.g. 505.mcf_r/SpecASan)")
+	traceOut := flag.String("trace-out", "trace.json", "where -trace writes its Chrome trace-event JSON")
+	metricsOut := flag.String("metrics-out", "", "write per-cell metrics records (JSONL, cell order) to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	verbose := flag.Bool("v", false, "log each run")
@@ -60,7 +65,53 @@ func main() {
 	opt.Log = os.Stderr
 	opt.Workers = *workers
 
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "specasan-bench:", err)
+			}
+		}()
+		opt.Metrics = f
+	}
+	// The trace hook fires on the first sweep cell matching bench/mitigation.
+	// Sweeps run one after another, so with -all a cell appearing in several
+	// figures is traced each time and the last run's trace is written.
+	var tr *obs.Tracer
+	if *traceCell != "" {
+		wantBench, wantMit, ok := strings.Cut(*traceCell, "/")
+		if !ok {
+			fatal(fmt.Errorf("-trace wants benchmark/mitigation, got %q", *traceCell))
+		}
+		opt.Attach = func(bench string, mit core.Mitigation, m *cpu.Machine) {
+			if bench != wantBench || mit.String() != wantMit {
+				return
+			}
+			t := obs.NewTracer(len(m.Cores), 0)
+			m.AttachObs(t, nil)
+			tr = t
+		}
+		defer func() {
+			if tr == nil {
+				fmt.Fprintf(os.Stderr, "specasan-bench: -trace cell %q never ran\n", *traceCell)
+				return
+			}
+			if err := writeTrace(*traceOut, tr); err != nil {
+				fmt.Fprintln(os.Stderr, "specasan-bench:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "specasan-bench: trace of %s: %s (%d events, %d dropped)\n",
+				*traceCell, *traceOut, tr.Recorded(), tr.Dropped())
+		}()
+	}
+
 	if *perf {
+		// -perf measures the simulator itself; instrumentation would skew it.
+		opt.Metrics = nil
+		opt.Attach = nil
 		runPerf(*perfOut, opt)
 		return
 	}
@@ -119,6 +170,24 @@ func runPerf(path string, opt harness.Options) {
 		rep.Sweep.Cells, rep.Sweep.WallSeconds, rep.Sweep.Workers,
 		rep.Sweep.SerialWallSeconds, rep.Sweep.Speedup)
 	fmt.Printf("report:      %s\n", path)
+}
+
+// writeTrace dumps the recorded event trace as Chrome trace-event JSON.
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, tr); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "specasan-bench:", err)
+	os.Exit(1)
 }
 
 func sweep(specs []*workloads.Spec, mits []core.Mitigation, opt harness.Options) *harness.Sweep {

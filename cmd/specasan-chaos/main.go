@@ -17,12 +17,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"specasan/internal/attacks"
 	"specasan/internal/chaos"
 	"specasan/internal/core"
+	"specasan/internal/cpu"
+	"specasan/internal/obs"
 	"specasan/internal/workloads"
 )
 
@@ -45,6 +48,9 @@ func main() {
 	verdicts := flag.Bool("verdicts", true, "also check Table 1 verdict invariance under timing-safe chaos")
 	verdictSeeds := flag.Int("verdict-seeds", 2, "chaos seeds for the verdict-invariance sweep")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	traceIdx := flag.Int("trace", -1, "re-run one campaign cell (by index) with event tracing and write a Chrome trace")
+	traceOut := flag.String("trace-out", "trace.json", "where -trace writes its Chrome trace-event JSON")
+	metricsOut := flag.String("metrics-out", "", "write per-cell metrics records (JSONL, cell order) to this file")
 	verbose := flag.Bool("v", false, "log each run")
 	flag.Parse()
 
@@ -106,7 +112,21 @@ func main() {
 		}
 	}
 
-	reps, err := chaos.RunCampaign(cells, *scale, *maxCycles, *workers)
+	var metricsW io.Writer
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "specasan-chaos:", err)
+			}
+		}()
+		metricsW = f
+	}
+
+	reps, err := chaos.RunCampaignMetrics(cells, *scale, *maxCycles, *workers, metricsW)
 	if err != nil {
 		c := cells[len(reps)]
 		fail("%s/%v: %v", c.Spec.Name, c.Mit, err)
@@ -148,6 +168,35 @@ func main() {
 		}
 		fmt.Printf("verdict sweep: %d attacks x %d mitigations x %d seeds, %d drifts\n",
 			len(attacks.All()), len(attacks.TableMitigations()), *verdictSeeds, drifted)
+	}
+
+	if *traceIdx >= 0 {
+		if *traceIdx >= len(cells) {
+			fail("-trace %d out of range (campaign has %d cells)", *traceIdx, len(cells))
+		}
+		c := cells[*traceIdx]
+		// Chaos is seeded per cell, so this solo re-run reproduces the
+		// campaign run exactly — the trace shows the same perturbed timeline.
+		var tr *obs.Tracer
+		if _, err := chaos.RunWorkload(c.Spec, c.Mit, c.Cfg, *scale, *maxCycles,
+			func(m *cpu.Machine) {
+				tr = obs.NewTracer(len(m.Cores), 0)
+				m.AttachObs(tr, nil)
+			}); err != nil {
+			fail("tracing cell %d: %v", *traceIdx, err)
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := obs.WriteChromeTrace(f, tr); err != nil {
+			fail("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("trace: cell %d (%s under %v, seed %d) -> %s (%d events, %d dropped)\n",
+			*traceIdx, c.Spec.Name, c.Mit, c.Cfg.Seed, *traceOut, tr.Recorded(), tr.Dropped())
 	}
 
 	if failures > 0 || drifted > 0 {

@@ -18,6 +18,7 @@ import (
 	"specasan/internal/cpu"
 	"specasan/internal/harness"
 	"specasan/internal/isa"
+	"specasan/internal/obs"
 	"specasan/internal/prof"
 	"specasan/internal/workloads"
 )
@@ -29,7 +30,10 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "kernel iteration scale")
 	maxCycles := flag.Uint64("max-cycles", 500_000_000, "cycle budget")
 	showConfig := flag.Bool("config", false, "print the simulated CPU configuration (Table 2) and exit")
-	trace := flag.Bool("trace", false, "print a pipeline event trace")
+	trace := flag.Bool("trace", false, "record a cycle-accurate event trace and write it as Chrome trace-event JSON")
+	traceOut := flag.String("trace-out", "trace.json", "where -trace writes its Chrome trace (load in Perfetto / chrome://tracing)")
+	metricsOut := flag.String("metrics-out", "", "write a pipeline-metrics record (JSONL) to this file")
+	traceText := flag.Bool("trace-text", false, "print the textual pipeline trace to stdout")
 	pipeview := flag.Int("pipeview", 0, "render a timeline of the last N instructions")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
@@ -85,8 +89,19 @@ func main() {
 	for i := 0; i < threads; i++ {
 		m.Core(i).SetReg(isa.X0, uint64(i))
 	}
-	if *trace {
+	if *traceText {
 		m.Core(0).TraceFn = func(f string, a ...any) { fmt.Printf(f+"\n", a...) }
+	}
+	var tr *obs.Tracer
+	if *trace {
+		tr = obs.NewTracer(threads, 0)
+	}
+	var met *obs.Metrics
+	if *metricsOut != "" {
+		met = obs.NewMetrics(threads)
+	}
+	if tr != nil || met != nil {
+		m.AttachObs(tr, met)
 	}
 	var rec *cpu.Recorder
 	if *pipeview > 0 {
@@ -94,6 +109,22 @@ func main() {
 		m.Core(0).Rec = rec
 	}
 	res := m.Run(*maxCycles)
+	if tr != nil {
+		if err := writeTrace(*traceOut, tr); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace        %s (%d events, %d dropped)\n", *traceOut, tr.Recorded(), tr.Dropped())
+	}
+	if met != nil {
+		name := *bench
+		if name == "" {
+			name = *file
+		}
+		if err := writeMetrics(*metricsOut, met.Record(name, mit.String(), res.Cycles, res.Committed)); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics      %s\n", *metricsOut)
+	}
 	if rec != nil {
 		defer fmt.Print(rec.Render(*pipeview))
 	}
@@ -130,6 +161,32 @@ func printConfig() {
 	fmt.Printf("  L2 Cache            %d KB, %d-way, 64B line, %d cycle hit, tagged\n", c.L2SizeKB, c.L2Ways, c.L2Latency)
 	fmt.Printf("  Line Fill Buffer    %d-entry (cache line), 2 cycle hit, tagged\n", c.LFBEntries)
 	fmt.Printf("  DRAM                %d cycle latency, %d-cycle bursts (+%d tag)\n", c.DRAMLatency, c.DRAMBurst, c.TagBurst)
+}
+
+// writeTrace dumps the recorded event trace as Chrome trace-event JSON.
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, tr); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeMetrics dumps one JSONL metrics record.
+func writeMetrics(path string, rec obs.MetricsRecord) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteMetricsLine(f, rec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -18,6 +18,7 @@ import (
 
 	"specasan/internal/mem"
 	"specasan/internal/mte"
+	"specasan/internal/obs"
 )
 
 // line is one cache line's metadata. Data bytes live in the memory image;
@@ -387,6 +388,12 @@ type Hierarchy struct {
 	// ChaosLFBDelay, when set, returns extra cycles before a new LFB
 	// allocation's data becomes usable (fill-buffer allocation pressure).
 	ChaosLFBDelay func(now uint64) uint64
+
+	// Obs/Met, when set, receive line-fill-buffer stall events and samples
+	// for the requesting core (internal/obs hooks; nil = disabled, one
+	// pointer compare on the access path).
+	Obs *obs.Tracer
+	Met *obs.Metrics
 }
 
 // HierConfig carries the geometry for NewHierarchy.
@@ -580,6 +587,15 @@ func (h *Hierarchy) Access(req AccessReq) AccessRes {
 		lfb.Hits++
 		ready := start + l1.hitLat
 		if e.dataAt > ready {
+			// Hit under fill: the access waits for the in-flight line.
+			if stall := e.dataAt - ready; h.Obs != nil || h.Met != nil {
+				if t := h.Obs.Core(req.Core); t != nil {
+					t.Record(req.Now, 0, mte.Strip(req.Ptr), obs.EvLFBStall, stall)
+				}
+				if cm := h.Met.Core(req.Core); cm != nil {
+					cm.LFBStall.Observe(stall)
+				}
+			}
 			ready = e.dataAt
 		}
 		if req.Write {

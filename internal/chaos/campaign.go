@@ -1,8 +1,13 @@
 package chaos
 
 import (
+	"bytes"
+	"io"
+
 	"specasan/internal/attacks"
 	"specasan/internal/core"
+	"specasan/internal/cpu"
+	"specasan/internal/obs"
 	"specasan/internal/par"
 	"specasan/internal/workloads"
 )
@@ -25,13 +30,40 @@ type CampaignCell struct {
 // with the reports of the cells before it.
 func RunCampaign(cells []CampaignCell, scale float64, maxCycles uint64,
 	workers int) ([]*RunReport, error) {
+	return RunCampaignMetrics(cells, scale, maxCycles, workers, nil)
+}
+
+// RunCampaignMetrics is RunCampaign with an optional obs JSONL metrics
+// stream: one record per successfully-run cell, buffered cell-locally and
+// flushed in cell order, so the stream is byte-identical for any worker
+// count. A nil metrics writer disables the instrumentation entirely.
+func RunCampaignMetrics(cells []CampaignCell, scale float64, maxCycles uint64,
+	workers int, metrics io.Writer) ([]*RunReport, error) {
 
 	reps := make([]*RunReport, len(cells))
 	errs := make([]error, len(cells))
+	bufs := make([]bytes.Buffer, len(cells))
+	var flush func(i int)
+	if metrics != nil {
+		flush = func(i int) { io.Copy(metrics, &bufs[i]) }
+	}
 	par.ForEachOrdered(len(cells), workers, func(i int) {
+		var attach []func(*cpu.Machine)
+		var met *obs.Metrics
+		if metrics != nil {
+			attach = append(attach, func(m *cpu.Machine) {
+				met = obs.NewMetrics(len(m.Cores))
+				m.AttachObs(nil, met)
+			})
+		}
 		reps[i], errs[i] = RunWorkload(cells[i].Spec, cells[i].Mit, cells[i].Cfg,
-			scale, maxCycles)
-	}, nil)
+			scale, maxCycles, attach...)
+		if met != nil && errs[i] == nil {
+			errs[i] = obs.WriteMetricsLine(&bufs[i],
+				met.Record(cells[i].Spec.Name, cells[i].Mit.String(),
+					reps[i].Cycles, reps[i].Committed))
+		}
+	}, flush)
 	for i, err := range errs {
 		if err != nil {
 			return reps[:i], err

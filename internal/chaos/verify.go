@@ -121,6 +121,7 @@ type RunReport struct {
 	Injected   uint64 // total faults that fired
 	Summary    string // per-kind injection counts
 	Cycles     uint64
+	Committed  uint64   // committed instructions across cores
 	Divergence []string // empty = architectural state matched golden
 }
 
@@ -131,9 +132,10 @@ func (r *RunReport) Failed() bool { return len(r.Divergence) > 0 }
 // injection attached, then verifies the committed state against the golden
 // interpreter. A watchdog verdict, a timeout, or any architectural
 // divergence is reported in the result (not as an error — errors are
-// reserved for being unable to run at all).
+// reserved for being unable to run at all). Optional attach hooks run on the
+// machine after construction and before the run (observability wiring).
 func RunWorkload(spec *workloads.Spec, mit core.Mitigation, chaosCfg Config,
-	scale float64, maxCycles uint64) (*RunReport, error) {
+	scale float64, maxCycles uint64, attach ...func(*cpu.Machine)) (*RunReport, error) {
 
 	prog, err := spec.Build(mit.MTEEnabled(), scale)
 	if err != nil {
@@ -153,6 +155,9 @@ func RunWorkload(spec *workloads.Spec, mit core.Mitigation, chaosCfg Config,
 		return nil, err
 	}
 	inj.Attach(m)
+	for _, fn := range attach {
+		fn(m)
+	}
 	res := m.Run(maxCycles)
 
 	rep := &RunReport{
@@ -162,6 +167,7 @@ func RunWorkload(spec *workloads.Spec, mit core.Mitigation, chaosCfg Config,
 		Injected:   inj.Total(),
 		Summary:    inj.Summary(),
 		Cycles:     res.Cycles,
+		Committed:  res.Committed,
 	}
 	switch {
 	case res.Err != nil:

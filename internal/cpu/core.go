@@ -18,6 +18,7 @@ import (
 	"specasan/internal/isa"
 	"specasan/internal/mem"
 	"specasan/internal/mte"
+	"specasan/internal/obs"
 	"specasan/internal/stats"
 )
 
@@ -99,19 +100,21 @@ type robEntry struct {
 	faultIsTag bool
 
 	// Metrics.
-	policyDelayed bool // delayed >= 1 cycle by the active mitigation
+	policyDelayed bool   // delayed >= 1 cycle by the active mitigation
+	issuedAt      uint64 // cycle the entry left the issue stage (obs metrics)
+	unsafeSince   uint64 // cycle the SpecASan unsafe delay began (0 = not delayed)
 
 	// O(1) rename/wakeup bookkeeping. srcsBuf backs srcs so steady-state
 	// dispatch allocates nothing; consumers keeps its backing array across
 	// slot reuse for the same reason.
 	srcsBuf     [4]source
-	consumers   []uint64    // dispatched dependents awaiting this result
-	pendingSrcs int         // renamed sources (incl. flags) still pending
-	inReadyQ    bool        // member of Core.readyQ
-	inRiskQ     bool        // member of Core.riskQ
-	prevProd    [2]uint64   // RAT values displaced by this entry's dsts
-	prevFlags   uint64      // RAT flags producer displaced (when tookFlags)
-	tookFlags   bool        // this entry claimed the flags rename slot
+	consumers   []uint64  // dispatched dependents awaiting this result
+	pendingSrcs int       // renamed sources (incl. flags) still pending
+	inReadyQ    bool      // member of Core.readyQ
+	inRiskQ     bool      // member of Core.riskQ
+	prevProd    [2]uint64 // RAT values displaced by this entry's dsts
+	prevFlags   uint64    // RAT flags producer displaced (when tookFlags)
+	tookFlags   bool      // this entry claimed the flags rename slot
 }
 
 // candidateEvent is a potential leak recorded at execute, promoted to a real
@@ -195,6 +198,13 @@ type Core struct {
 	// issue-to-resolve latency (delayed-resolution fault injection; widens
 	// the speculative window without changing the resolved outcome).
 	ChaosBranchDelay func(pc uint64) uint64
+
+	// Obs, when set, receives every pipeline and SpecASan lifecycle event
+	// into this core's preallocated trace ring (internal/obs). Met, when
+	// set, feeds the per-core latency histograms directly. Both are
+	// nil-guarded: disabled, each hook site costs one pointer compare.
+	Obs *obs.CoreTrace
+	Met *obs.CoreMetrics
 
 	// lastCommitCycle is the cycle of the most recent commit — the
 	// watchdog's progress signal.
@@ -426,6 +436,15 @@ func (c *Core) markRisk(e *robEntry) {
 	if !e.inRiskQ {
 		e.inRiskQ = true
 		c.riskQ = append(c.riskQ, e.seq)
+		c.obsRecord(e.seq, e.pc, obs.EvRiskMark, 0)
+	}
+}
+
+// obsRecord forwards one event to the attached trace ring. Small enough to
+// inline; disabled tracing costs the nil compare only.
+func (c *Core) obsRecord(seq, pc uint64, kind obs.EventKind, arg uint64) {
+	if c.Obs != nil {
+		c.Obs.Record(c.cycle, seq, pc, kind, arg)
 	}
 }
 

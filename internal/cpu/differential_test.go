@@ -1,0 +1,142 @@
+package cpu
+
+// The differential-testing safety net behind the observability layer: a
+// 64-program seeded corpus run under the paper's Figure 6 mitigation set,
+// each checked bit-for-bit against the reference interpreter, plus a native
+// fuzz target that keeps exploring the same property unbounded under -fuzz.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"specasan/internal/asm"
+	"specasan/internal/core"
+	"specasan/internal/golden"
+	"specasan/internal/isa"
+)
+
+// figure6Mitigations mirrors harness.Figure6Mitigations() — the paper's
+// headline comparison set. Spelled out here because cpu cannot import the
+// harness without a cycle; TestFigure6MitigationSet in internal/harness pins
+// the two lists together.
+var figure6Mitigations = []core.Mitigation{
+	core.Unsafe, core.Fence, core.STT, core.GhostMinion, core.SpecASan,
+}
+
+// TestDifferentialFigure6Corpus is the corpus half of the safety net:
+// 64 seeded random ARM-flavoured programs (half of them MTE-tagged) must
+// produce bit-equivalent committed state on the OoO pipeline and the golden
+// interpreter under every Figure 6 mitigation.
+func TestDifferentialFigure6Corpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for seed := int64(1000); seed < 1064; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		withMTE := seed%2 == 0
+		src := genRandomProgram(rng, withMTE)
+		for _, mit := range figure6Mitigations {
+			mit := mit
+			t.Run(fmt.Sprintf("seed%d/%v", seed, mit), func(t *testing.T) {
+				diffAgainstGolden(t, mit, src, mit.MTEEnabled())
+			})
+		}
+	}
+}
+
+// fuzzDiffBudget bounds each fuzz execution; mutated programs that spin
+// longer are inconclusive, not wrong, and are skipped. Kept tight: each
+// input runs once per Figure 6 mitigation, and throughput is what makes a
+// fuzz smoke worth its CI seconds.
+const fuzzDiffBudget = 500_000
+
+// fuzzDiffGolden is diffAgainstGolden restated for fuzzing: malformed or
+// non-terminating inputs skip (the fuzzer's job is finding divergence, not
+// assembling), and any reachable architectural mismatch fails.
+func fuzzDiffGolden(t *testing.T, mit core.Mitigation, src string) {
+	t.Helper()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Skip("does not assemble")
+	}
+	ip := golden.New(prog)
+	ip.MTEOn = mit.MTEEnabled()
+	ip.TagSeed = TagSeedBase
+	gres := ip.Run(fuzzDiffBudget)
+	if gres.Reason == golden.StopMaxInsts {
+		t.Skip("golden inconclusive (budget exhausted)")
+	}
+
+	m, err := NewMachine(core.DefaultConfig(), mit, prog)
+	if err != nil {
+		t.Skip("machine rejects program")
+	}
+	mres := m.Run(fuzzDiffBudget)
+	if mres.TimedOut || mres.Err != nil {
+		// A wedge the watchdog catches is a real bug, but it reproduces far
+		// better through the corpus tests; the fuzz target hunts divergence.
+		t.Skipf("machine inconclusive: %v", mres)
+	}
+	if gres.Reason == golden.StopTagFault || gres.Reason == golden.StopBadPC {
+		if !mres.Faulted {
+			t.Fatalf("golden stopped with %v at %#x, machine exited cleanly", gres.Reason, gres.FaultPC)
+		}
+		return
+	}
+	if mres.Faulted {
+		t.Fatalf("machine faulted at %#x, golden exited cleanly", m.Core(0).FaultPC)
+	}
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		if r == isa.XZR {
+			continue
+		}
+		if got, want := m.Core(0).Reg(r), gres.Regs[r]; got != want {
+			t.Errorf("%v = %#x, golden %#x", r, got, want)
+		}
+	}
+	if string(m.Core(0).Output) != string(gres.Output) {
+		t.Errorf("output %q, golden %q", m.Core(0).Output, gres.Output)
+	}
+	for _, d := range prog.Data {
+		for i := range d.Bytes {
+			a := d.Addr + uint64(i)
+			if got, want := m.Img.ByteAt(a), ip.Mem.ByteAt(a); got != want {
+				t.Fatalf("mem[%#x] = %d, golden %d", a, got, want)
+			}
+		}
+	}
+}
+
+// FuzzDifferentialGolden feeds assembly sources to the OoO-vs-golden
+// comparison under every Figure 6 mitigation. `go test -fuzz
+// FuzzDifferentialGolden` explores unbounded; the checked-in corpus under
+// testdata/fuzz seeds it with MTE tag-manipulation interleavings.
+func FuzzDifferentialGolden(f *testing.F) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		f.Add(genRandomProgram(rng, seed%2 == 0))
+	}
+	f.Add(`
+_start:
+    ADR X10, buf
+    IRG X10, X10
+    STG X10, [X10]
+    STR X3, [X10]
+    LDR X4, [X10]
+    LDG X5, [X10]
+    SVC #0
+    .org 0x40000
+buf:
+    .space 64
+`)
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 || strings.Count(src, "\n") > 2048 {
+			t.Skip("oversized input")
+		}
+		for _, mit := range figure6Mitigations {
+			fuzzDiffGolden(t, mit, src)
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"specasan/internal/core"
 	"specasan/internal/isa"
 	"specasan/internal/mte"
+	"specasan/internal/obs"
 )
 
 // lateTagCheckPenalty is the extra latency of re-running the tag check at
@@ -52,7 +53,13 @@ func (c *Core) startMemOp(e *robEntry) {
 		c.executeLoad(e)
 	case isa.LDG:
 		// Tag-granule read: returns the allocation tag in the pointer's
-		// key byte. Modelled as a short tag-storage access.
+		// key byte. Modelled as a short tag-storage access. An older
+		// uncommitted STG/ST2G to this granule must drain first — its
+		// architectural tag write happens at commit.
+		if c.tagWritesInFlight > 0 && c.olderTagWriteCovering(e.seq, e.addr, 1) {
+			e.state = stDispatched // retry once the tag write commits
+			return
+		}
 		lock := c.img.Tags.Lock(e.addr)
 		oldRd, _ := c.readSource2(e, in.Rd)
 		e.result, e.hasResult = mte.WithKey(oldRd, lock), true
@@ -69,6 +76,14 @@ func (c *Core) olderTagWriteInFlight(seq uint64, addr uint64, size int) bool {
 	if !c.mteOn || c.tagWritesInFlight == 0 {
 		return false
 	}
+	return c.olderTagWriteCovering(seq, addr, size)
+}
+
+// olderTagWriteCovering is the ungated scan behind olderTagWriteInFlight.
+// LDG consults it directly: tag stores update the architectural tag image at
+// commit whether or not MTE checking is on, so a tag read must order after
+// older in-flight STG/ST2G under every mitigation.
+func (c *Core) olderTagWriteCovering(seq uint64, addr uint64, size int) bool {
 	first := mte.GranuleIndex(addr)
 	last := mte.GranuleIndex(mte.Strip(addr) + uint64(size) - 1)
 	for _, s := range c.storeQ {
@@ -140,6 +155,7 @@ func (c *Core) executeAtomic(e *robEntry) {
 		Core: c.ID, Ptr: e.addr, Size: 8, Write: true, Now: c.cycle,
 	})
 	e.tagOK = res.TagOK
+	c.obsRecord(e.seq, e.pc, obs.EvMem, mte.Strip(e.addr))
 	if c.mteOn && !res.TagOK {
 		e.fault, e.faultIsTag = true, true
 		c.markRisk(e)
@@ -279,6 +295,7 @@ func (c *Core) executeLoad(e *robEntry) {
 		})
 		e.memIssued = true
 		e.tagOK = res.TagOK
+		c.obsRecord(e.seq, e.pc, obs.EvMem, mte.Strip(e.addr))
 		c.tsh.OnResult(e.seq, false) // assists are never safe accesses
 		e.state, e.doneAt = stWaitMem, res.ReadyAt
 		e.result, e.hasResult = 0, true
@@ -390,6 +407,7 @@ func (c *Core) executeLoad(e *robEntry) {
 	})
 	e.memIssued = true
 	e.tagOK = res.TagOK
+	c.obsRecord(e.seq, e.pc, obs.EvMem, mte.Strip(e.addr))
 	e.state, e.doneAt = stWaitMem, res.ReadyAt
 	if c.specChecks && !c.cfg.EarlyTagCheck {
 		// Ablation: without the early tag-check propagation of §3.3.1 (L1
@@ -527,10 +545,19 @@ func (c *Core) completeMemAccess(e *robEntry) {
 func (c *Core) replayUnsafe(e *robEntry) {
 	c.tsh.OnReplay(e.seq)
 	e.replayed = true
+	if e.unsafeSince != 0 {
+		d := c.cycle - e.unsafeSince
+		if c.Met != nil {
+			c.Met.TagDelay.Observe(d)
+		}
+		c.obsRecord(e.seq, e.pc, obs.EvTagDelayEnd, d)
+		e.unsafeSince = 0
+	}
 	res := c.hier.Access(cache.AccessReq{
 		Core: c.ID, Ptr: e.addr, Size: e.inst.MemBytes(), Now: c.cycle,
 	})
 	e.tagOK = res.TagOK
+	c.obsRecord(e.seq, e.pc, obs.EvMem, mte.Strip(e.addr))
 	e.state = stWaitMem
 	e.doneAt = res.ReadyAt + c.cfg.BroadcastLatency
 	c.Stats.Inc("unsafe_replays")

@@ -10,6 +10,7 @@ import (
 	"specasan/internal/isa"
 	"specasan/internal/mem"
 	"specasan/internal/mte"
+	"specasan/internal/obs"
 	"specasan/internal/stats"
 )
 
@@ -128,6 +129,27 @@ func NewMachine(cfg core.Config, mit core.Mitigation, prog *asm.Program) (*Machi
 	}
 	m.Watchdog = NewWatchdog(cfg.Cores)
 	return m, nil
+}
+
+// AttachObs wires an event tracer and/or a metrics bundle into every core
+// and the shared hierarchy. A nil argument leaves that attachment unchanged,
+// so a caller can attach tracing and metrics in separate calls. Both must
+// have been built for this machine's core count.
+func (m *Machine) AttachObs(tr *obs.Tracer, met *obs.Metrics) {
+	for i, c := range m.Cores {
+		if tr != nil {
+			c.Obs = tr.Core(i)
+		}
+		if met != nil {
+			c.Met = met.Core(i)
+		}
+	}
+	if tr != nil {
+		m.Hier.Obs = tr
+	}
+	if met != nil {
+		m.Hier.Met = met
+	}
 }
 
 // Core returns core i.

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"specasan/internal/core"
+	"specasan/internal/obs"
 	"specasan/internal/workloads"
 )
 
@@ -52,6 +53,31 @@ func TestMachineStepAllocs(t *testing.T) {
 	})
 	if allocs > 0.01 {
 		t.Errorf("Machine.Step allocates %.3f objects/step in steady state, want ~0", allocs)
+	}
+}
+
+// TestMachineStepAllocsTraced is the tracing-on variant: with a tracer and
+// metrics bundle attached, recording is ring stores and histogram increments,
+// so steady-state Step must still not allocate.
+func TestMachineStepAllocsTraced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	m := perfMachine(t)
+	m.AttachObs(obs.NewTracer(len(m.Cores), 0), obs.NewMetrics(len(m.Cores)))
+	for i := 0; i < 2000 && !m.Done(); i++ {
+		m.Step()
+	}
+	if m.Done() {
+		t.Fatal("machine halted during warmup; enlarge the workload scale")
+	}
+	allocs := testing.AllocsPerRun(2000, func() {
+		if !m.Done() {
+			m.Step()
+		}
+	})
+	if allocs > 0.01 {
+		t.Errorf("traced Machine.Step allocates %.3f objects/step in steady state, want ~0", allocs)
 	}
 }
 

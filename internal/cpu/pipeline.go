@@ -3,6 +3,7 @@ package cpu
 import (
 	"specasan/internal/core"
 	"specasan/internal/isa"
+	"specasan/internal/obs"
 )
 
 // Tick advances the core by one clock cycle. Stages run back-to-front so a
@@ -158,6 +159,7 @@ func (c *Core) fetch() {
 				// No prediction: stall fetch until the branch resolves.
 				fi.stallOnResolve = true
 				c.fetchQ = append(c.fetchQ, fi)
+				c.obsRecord(0, fi.pc, obs.EvFetch, 0)
 				c.fetchBlockedBy = ^uint64(0) // rebound to the seq at dispatch
 				return
 			}
@@ -168,6 +170,7 @@ func (c *Core) fetch() {
 				fi.predTaken = false
 				fi.stallOnResolve = true
 				c.fetchQ = append(c.fetchQ, fi)
+				c.obsRecord(0, fi.pc, obs.EvFetch, 0)
 				c.fetchBlockedBy = ^uint64(0)
 				c.Stats.Inc("cfi_blocked_indirect")
 				return
@@ -178,6 +181,7 @@ func (c *Core) fetch() {
 			if !ok {
 				fi.stallOnResolve = true
 				c.fetchQ = append(c.fetchQ, fi)
+				c.obsRecord(0, fi.pc, obs.EvFetch, 0)
 				c.fetchBlockedBy = ^uint64(0)
 				return
 			}
@@ -190,6 +194,7 @@ func (c *Core) fetch() {
 					fi.predTaken = false
 					fi.stallOnResolve = true
 					c.fetchQ = append(c.fetchQ, fi)
+					c.obsRecord(0, fi.pc, obs.EvFetch, 0)
 					c.fetchBlockedBy = ^uint64(0)
 					c.Stats.Inc("cfi_blocked_return")
 					return
@@ -199,6 +204,7 @@ func (c *Core) fetch() {
 		}
 
 		c.fetchQ = append(c.fetchQ, fi)
+		c.obsRecord(0, fi.pc, obs.EvFetch, 0)
 		if in.IsBranch() {
 			// The BHB is updated speculatively at fetch with the predicted
 			// path (as on real front ends) — which is exactly what makes
@@ -317,6 +323,7 @@ func (c *Core) dispatch() {
 		if c.Rec != nil {
 			c.Rec.onDispatch(c, e)
 		}
+		c.obsRecord(seq, fi.pc, obs.EvDispatch, 0)
 		c.iqCount++
 		if e.isBranch {
 			c.branchQ = append(c.branchQ, seq)
@@ -468,6 +475,8 @@ func (c *Core) issue() {
 		if c.Rec != nil {
 			c.Rec.onIssue(c, e)
 		}
+		e.issuedAt = c.cycle
+		c.obsRecord(e.seq, e.pc, obs.EvIssue, 0)
 		c.startExecution(e)
 		issued++
 		if e.state == stDispatched {
@@ -522,6 +531,7 @@ func (c *Core) bookUnit(v []uint64, until uint64) {
 // startExecution computes results functionally and books timing.
 func (c *Core) startExecution(e *robEntry) {
 	c.iqCount--
+	c.obsRecord(e.seq, e.pc, obs.EvExec, 0)
 	in := e.inst
 	spec := c.speculative(e)
 	trans := spec || c.transient(e)
@@ -798,12 +808,17 @@ func (c *Core) restoreRAT(boundary uint64) {
 // fetch to target.
 func (c *Core) squashAfter(seq uint64, target uint64) {
 	c.restoreRAT(seq)
+	var depth uint64
 	for s := seq + 1; s < c.nextSeq; s++ {
 		e := &c.rob[s%uint64(len(c.rob))]
 		if !e.valid {
 			continue
 		}
+		depth++
 		c.releaseEntry(e, true)
+	}
+	if c.Met != nil {
+		c.Met.SquashDepth.Observe(depth)
 	}
 	c.nextSeq = seq + 1
 	if c.incompleteFrom > c.nextSeq {
@@ -831,6 +846,17 @@ func (c *Core) releaseEntry(e *robEntry, squashed bool) {
 	if e.state == stDispatched {
 		c.iqCount--
 	}
+	if e.unsafeSince != 0 {
+		// The SpecASan hold ends here: on the Spectre path the misprediction
+		// resolves to a squash and the held access never replays, so this —
+		// not replayUnsafe — is where most tag-check delays close.
+		d := c.cycle - e.unsafeSince
+		if c.Met != nil {
+			c.Met.TagDelay.Observe(d)
+		}
+		c.obsRecord(e.seq, e.pc, obs.EvTagDelayEnd, d)
+		e.unsafeSince = 0
+	}
 	if e.inReadyQ {
 		e.inReadyQ = false
 		c.readyQ = seqRemove(c.readyQ, e.seq)
@@ -838,6 +864,7 @@ func (c *Core) releaseEntry(e *robEntry, squashed bool) {
 	if e.inRiskQ {
 		e.inRiskQ = false
 		c.riskQ = seqRemove(c.riskQ, e.seq)
+		c.obsRecord(e.seq, e.pc, obs.EvRiskClear, 0)
 	}
 	if e.isLoad {
 		c.lqCount--
@@ -879,6 +906,7 @@ func (c *Core) releaseEntry(e *robEntry, squashed bool) {
 		if c.Rec != nil {
 			c.Rec.onSquash(c, e)
 		}
+		c.obsRecord(e.seq, e.pc, obs.EvSquash, 0)
 		if c.ghostOn && e.isLoad && e.memIssued && e.addrReady {
 			c.hier.DropGhost(c.ID, e.addr)
 		}
@@ -931,6 +959,11 @@ func (c *Core) commit() {
 			c.Rec.onComplete(c, e)
 			c.Rec.onCommit(c, e)
 		}
+		// Every committed entry passed through issue, so issuedAt is set.
+		if c.Met != nil {
+			c.Met.IssueToCommit.Observe(c.cycle - e.issuedAt)
+		}
+		c.obsRecord(e.seq, e.pc, obs.EvCommit, c.cycle-e.issuedAt)
 		c.commitEntry(e)
 		c.dropCandidates(e.seq)
 		c.releaseEntry(e, false)

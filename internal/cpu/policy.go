@@ -4,6 +4,7 @@ import (
 	"specasan/internal/core"
 	"specasan/internal/isa"
 	"specasan/internal/mte"
+	"specasan/internal/obs"
 )
 
 // policyBlocksIssue applies the active mitigation's issue-time gates.
@@ -60,6 +61,12 @@ func (c *Core) policyBlocksIssue(e *robEntry) (bool, string) {
 // the explicit marking feeds the restriction metrics and the TSH state.
 func (c *Core) onUnsafeAccess(e *robEntry) {
 	e.policyDelayed = true
+	if e.unsafeSince == 0 {
+		// First delay of this access (re-entry via forward-denied retries
+		// keeps the original start cycle).
+		e.unsafeSince = c.cycle
+		c.obsRecord(e.seq, e.pc, obs.EvTagDelayStart, 0)
+	}
 	c.Stats.Inc("unsafe_accesses")
 	for s := e.seq + 1; s < c.nextSeq; s++ {
 		d := &c.rob[s%uint64(len(c.rob))]

@@ -2,10 +2,14 @@ package harness
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"strings"
 	"testing"
 
 	"specasan/internal/core"
+	"specasan/internal/cpu"
+	"specasan/internal/obs"
 	"specasan/internal/workloads"
 )
 
@@ -64,6 +68,72 @@ func TestRunSweepParallelDeterminism(t *testing.T) {
 		if got := run(workers); got != serial {
 			t.Errorf("workers=%d diverges from serial:\n-- serial --\n%s\n-- workers=%d --\n%s",
 				workers, serial, workers, got)
+		}
+	}
+}
+
+// TestRunSweepMetricsAndTraceDeterminism extends the contract to the
+// observability layer: the JSONL metrics stream and a Chrome trace of one
+// chosen cell must be byte-identical for any worker count.
+func TestRunSweepMetricsAndTraceDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	specs := []*workloads.Spec{
+		workloads.ByName("508.namd_r"),
+		workloads.ByName("505.mcf_r"),
+	}
+	mits := []core.Mitigation{core.Unsafe, core.SpecASan}
+
+	run := func(workers int) (string, string) {
+		var metrics bytes.Buffer
+		var tr *obs.Tracer
+		opt := Options{
+			Scale: 0.02, MaxCycles: 50_000_000,
+			Workers: workers, Metrics: &metrics,
+			Attach: func(bench string, mit core.Mitigation, m *cpu.Machine) {
+				if bench == "505.mcf_r" && mit == core.SpecASan {
+					tr = obs.NewTracer(len(m.Cores), 0)
+					m.AttachObs(tr, nil)
+				}
+			},
+		}
+		if _, err := RunSweep(specs, mits, opt); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if tr == nil {
+			t.Fatalf("workers=%d: traced cell never ran", workers)
+		}
+		var trace bytes.Buffer
+		if err := obs.WriteChromeTrace(&trace, tr); err != nil {
+			t.Fatal(err)
+		}
+		return metrics.String(), trace.String()
+	}
+
+	serialMetrics, serialTrace := run(1)
+	if serialMetrics == "" {
+		t.Fatal("metrics stream is empty")
+	}
+	// One JSONL line per cell, in cell order.
+	lines := strings.Split(strings.TrimRight(serialMetrics, "\n"), "\n")
+	if len(lines) != len(specs)*len(mits) {
+		t.Fatalf("%d metrics lines, want %d", len(lines), len(specs)*len(mits))
+	}
+	var first obs.MetricsRecord
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Schema != obs.MetricsSchema || first.Bench != "508.namd_r" {
+		t.Fatalf("first metrics line = %+v", first)
+	}
+	for _, workers := range []int{2, 4} {
+		gotMetrics, gotTrace := run(workers)
+		if gotMetrics != serialMetrics {
+			t.Errorf("workers=%d: metrics stream diverges from serial", workers)
+		}
+		if gotTrace != serialTrace {
+			t.Errorf("workers=%d: chrome trace diverges from serial", workers)
 		}
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"specasan/internal/core"
 	"specasan/internal/cpu"
 	"specasan/internal/isa"
+	"specasan/internal/obs"
 	"specasan/internal/par"
 	"specasan/internal/stats"
 	"specasan/internal/workloads"
@@ -40,6 +41,15 @@ type Options struct {
 	// byte-identical for every value (cells are independent machines; logs
 	// are buffered per cell and flushed in cell order).
 	Workers int
+	// Metrics, when set, receives one obs JSONL record per successful run
+	// (issue-to-commit / tag-check-delay / squash-depth / LFB-stall
+	// histograms). Under RunSweep the stream is buffered per cell and
+	// flushed in cell order, so it is byte-identical for any Workers value.
+	Metrics io.Writer
+	// Attach, when set, is called with each cell's machine after
+	// construction and before the run — the hook the commands use to attach
+	// an event tracer to a chosen cell.
+	Attach func(bench string, mit core.Mitigation, m *cpu.Machine)
 }
 
 // DefaultOptions are suitable for the command-line tools.
@@ -79,6 +89,14 @@ func RunBenchmark(spec *workloads.Spec, mit core.Mitigation, opt Options) (*Perf
 	for i := 0; i < spec.Threads; i++ {
 		m.Core(i).SetReg(isa.X0, uint64(i))
 	}
+	var met *obs.Metrics
+	if opt.Metrics != nil {
+		met = obs.NewMetrics(cfg.Cores)
+		m.AttachObs(nil, met)
+	}
+	if opt.Attach != nil {
+		opt.Attach(spec.Name, mit, m)
+	}
 	res := m.Run(opt.MaxCycles)
 	if res.Err != nil {
 		// Watchdog verdict: a wedged pipeline or broken invariant. Not
@@ -95,6 +113,12 @@ func RunBenchmark(spec *workloads.Spec, mit core.Mitigation, opt Options) (*Perf
 	}
 	opt.logf("  %-18s %-12s cycles=%-10d ipc=%.2f restricted=%d",
 		spec.Name, mit, res.Cycles, res.IPC(), res.Stats.Get("restricted_commits"))
+	if met != nil {
+		if err := obs.WriteMetricsLine(opt.Metrics,
+			met.Record(spec.Name, mit.String(), res.Cycles, res.Committed)); err != nil {
+			return nil, fmt.Errorf("%s under %v: writing metrics: %w", spec.Name, mit, err)
+		}
+	}
 	return &PerfResult{
 		Benchmark:  spec.Name,
 		Mitigation: mit,
@@ -167,9 +191,11 @@ func runCell(spec *workloads.Spec, mit core.Mitigation, opt Options) (*PerfResul
 // every cell failed.
 //
 // Determinism contract: results, errors, and every byte written to opt.Log
-// are identical for any worker count. Per-cell log output is captured in a
-// cell-local buffer and flushed to opt.Log in cell order (benchmark-major,
-// mitigation-minor) as the completed prefix grows.
+// and opt.Metrics are identical for any worker count. Per-cell log and
+// metrics output is captured in cell-local buffers and flushed in cell order
+// (benchmark-major, mitigation-minor) as the completed prefix grows.
+// opt.Attach, when set, may be called from several workers at once; the
+// commands' attach hooks only touch the one machine they match.
 func RunSweep(specs []*workloads.Spec, mits []core.Mitigation, opt Options) (*Sweep, error) {
 	sw := &Sweep{
 		Mitigations: mits,
@@ -187,6 +213,7 @@ func RunSweep(specs []*workloads.Spec, mits []core.Mitigation, opt Options) (*Sw
 		res  *PerfResult
 		err  error
 		log  bytes.Buffer
+		met  bytes.Buffer
 	}
 	cells := make([]cell, 0, len(specs)*len(mits))
 	for _, spec := range specs {
@@ -200,12 +227,18 @@ func RunSweep(specs []*workloads.Spec, mits []core.Mitigation, opt Options) (*Sw
 			c := &cells[i]
 			cellOpt := opt
 			cellOpt.Log = &c.log
+			if opt.Metrics != nil {
+				cellOpt.Metrics = &c.met
+			}
 			c.res, c.err = runCell(c.spec, c.mit, cellOpt)
 		},
 		func(i int) {
 			c := &cells[i]
 			if opt.Log != nil {
 				io.Copy(opt.Log, &c.log)
+			}
+			if opt.Metrics != nil {
+				io.Copy(opt.Metrics, &c.met)
 			}
 			if c.err != nil {
 				sw.Errors[c.spec.Name][c.mit] = c.err

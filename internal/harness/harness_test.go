@@ -243,3 +243,19 @@ func TestSweepAllCellsFailed(t *testing.T) {
 		t.Fatal("partial sweep state should still be returned")
 	}
 }
+
+// TestFigure6MitigationSet pins the Figure 6 list to the copy spelled out in
+// internal/cpu's differential tests (which cannot import the harness).
+func TestFigure6MitigationSet(t *testing.T) {
+	want := []core.Mitigation{core.Unsafe, core.Fence, core.STT,
+		core.GhostMinion, core.SpecASan}
+	got := Figure6Mitigations()
+	if len(got) != len(want) {
+		t.Fatalf("Figure6Mitigations() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Figure6Mitigations()[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -68,13 +68,13 @@ type SweepPerf struct {
 // PerfReport is the schema of BENCH_sim.json, the tracked performance
 // baseline of the simulator substrate.
 type PerfReport struct {
-	Schema            string       `json:"schema"`
-	GeneratedAt       string       `json:"generated_at"`
-	GoMaxProcs        int          `json:"gomaxprocs"`
+	Schema            string         `json:"schema"`
+	GeneratedAt       string         `json:"generated_at"`
+	GoMaxProcs        int            `json:"gomaxprocs"`
 	SingleCore        SingleCorePerf `json:"single_core"`
-	Sweep             SweepPerf    `json:"sweep"`
-	Baseline          PerfBaseline `json:"baseline"`
-	SingleCoreSpeedup float64      `json:"single_core_speedup_vs_baseline"`
+	Sweep             SweepPerf      `json:"sweep"`
+	Baseline          PerfBaseline   `json:"baseline"`
+	SingleCoreSpeedup float64        `json:"single_core_speedup_vs_baseline"`
 }
 
 // perfWorkload is the fixed single-core measurement recipe; it matches

@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestPerfReportRoundTrip pins the BENCH_sim.json schema: a report must
+// survive marshal → unmarshal → re-marshal byte-identically, so the tracked
+// baseline file stays stable under version control.
+func TestPerfReportRoundTrip(t *testing.T) {
+	rep := &PerfReport{
+		Schema:      PerfSchema,
+		GeneratedAt: "2026-08-05T00:00:00Z",
+		GoMaxProcs:  8,
+		SingleCore: SingleCorePerf{
+			Workload: "508.namd_r", Mitigation: "Unsafe",
+			Steps: 500000, Committed: 700000,
+			HostNsPerCycle: 1184.886268, SimInstsPerSec: 1.2e6, SimMIPS: 1.2,
+			AllocsPerStep: 0.0001, AllocsPerCommitted: 0.00007,
+		},
+		Sweep: SweepPerf{
+			Workloads: 10, Mitigations: 5, Cells: 50, Scale: 1,
+			Workers: 8, WallSeconds: 12.5, SerialWallSeconds: 80.1, Speedup: 6.4,
+		},
+		Baseline:          ReferenceBaseline(),
+		SingleCoreSpeedup: 3.52,
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_sim.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[len(data)-1] != '\n' {
+		t.Fatal("report must end in a newline")
+	}
+	var back PerfReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*rep, back) {
+		t.Fatalf("report did not survive a JSON round trip:\n%+v\n%+v", rep, back)
+	}
+	if err := back.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data2, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("re-marshal is not byte-identical")
+	}
+}
+
+// TestBenchSimJSONParses validates the tracked baseline file itself against
+// the schema: it must parse as a PerfReport with the current schema tag and
+// carry a plausible single-core measurement.
+func TestBenchSimJSONParses(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_sim.json"))
+	if err != nil {
+		t.Skipf("no tracked baseline: %v", err)
+	}
+	var rep PerfReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH_sim.json does not parse: %v", err)
+	}
+	if rep.Schema != PerfSchema {
+		t.Fatalf("schema = %q, want %q", rep.Schema, PerfSchema)
+	}
+	if rep.SingleCore.HostNsPerCycle <= 0 || rep.SingleCore.Committed == 0 {
+		t.Fatalf("implausible single-core measurement: %+v", rep.SingleCore)
+	}
+	if rep.Baseline.HostNsPerCycle <= 0 {
+		t.Fatalf("missing baseline: %+v", rep.Baseline)
+	}
+}

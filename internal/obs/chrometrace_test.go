@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden fixtures")
+
+// fixtureTracer builds the deterministic two-core trace behind the golden
+// fixture: a full instruction lifecycle on core 0 (including a SpecASan
+// tag-check delay and a squash) and an LFB stall on core 1.
+func fixtureTracer() *Tracer {
+	tr := NewTracer(2, 64)
+	c0 := tr.Core(0)
+	c0.Record(10, 0, 0x4000, EvFetch, 0)
+	c0.Record(11, 7, 0x4000, EvDispatch, 0)
+	c0.Record(12, 7, 0x4000, EvIssue, 0)
+	c0.Record(12, 7, 0x4000, EvExec, 0)
+	c0.Record(13, 7, 0x4000, EvMem, 0x9000)
+	c0.Record(14, 7, 0x4000, EvTagDelayStart, 0)
+	c0.Record(30, 7, 0x4000, EvTagDelayEnd, 16)
+	c0.Record(35, 7, 0x4000, EvCommit, 23)
+	c0.Record(36, 8, 0x4004, EvRiskMark, 0)
+	c0.Record(40, 8, 0x4004, EvSquash, 0)
+	c0.Record(40, 8, 0x4004, EvRiskClear, 0)
+	c1 := tr.Core(1)
+	c1.Record(20, 0, 0xa000, EvLFBStall, 9)
+	c1.Record(21, 3, 0x4010, EvCommit, 0) // zero-latency commit: dur clamps to 1
+	return tr
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, fixtureTracer()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "chrometrace_golden.json")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace output drifted from %s (run with -update after deliberate format changes)", path)
+	}
+}
+
+// TestChromeTraceEventFields validates the Trace Event Format contract on
+// every emitted record: a known phase, in-range pid/tid, duration only on
+// complete spans, and scope only on instants.
+func TestChromeTraceEventFields(t *testing.T) {
+	tr := fixtureTracer()
+	ct := BuildChromeTrace(tr)
+	if ct.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", ct.DisplayTimeUnit)
+	}
+	metas := 0
+	for i, ev := range ct.TraceEvents {
+		if ev.Pid < 0 || ev.Pid >= tr.Cores() {
+			t.Fatalf("event %d: pid %d out of range", i, ev.Pid)
+		}
+		if ev.Tid < 0 || ev.Tid >= numTracks {
+			t.Fatalf("event %d: tid %d out of range", i, ev.Tid)
+		}
+		switch ev.Ph {
+		case "M":
+			metas++
+			if ev.Args == nil || ev.Args.Meta == "" {
+				t.Fatalf("event %d: metadata without a name", i)
+			}
+		case "X":
+			if ev.Dur == 0 {
+				t.Fatalf("event %d: complete span with dur=0 (Perfetto drops it)", i)
+			}
+			if ev.S != "" {
+				t.Fatalf("event %d: span with instant scope %q", i, ev.S)
+			}
+		case "i":
+			if ev.S != "t" {
+				t.Fatalf("event %d: instant scope = %q, want thread", i, ev.S)
+			}
+			if ev.Dur != 0 {
+				t.Fatalf("event %d: instant with a duration", i)
+			}
+		default:
+			t.Fatalf("event %d: unknown phase %q", i, ev.Ph)
+		}
+	}
+	// One process_name per core plus one thread_name per track per core.
+	if want := tr.Cores() * (1 + numTracks); metas != want {
+		t.Fatalf("%d metadata events, want %d", metas, want)
+	}
+}
+
+// TestChromeTraceSpans checks the span arithmetic: events that carry their
+// own duration reconstruct [start, end] without needing the (possibly
+// ring-dropped) start event.
+func TestChromeTraceSpans(t *testing.T) {
+	ct := BuildChromeTrace(fixtureTracer())
+	var spans []ChromeEvent
+	for _, ev := range ct.TraceEvents {
+		if ev.Ph == "X" {
+			spans = append(spans, ev)
+		}
+	}
+	if len(spans) != 4 {
+		t.Fatalf("%d spans, want 4 (tag-delay, commit, lfb-stall, zero-latency commit)", len(spans))
+	}
+	type want struct {
+		name    string
+		ts, dur uint64
+		tid     int
+	}
+	for i, w := range []want{
+		{"tag-delay", 14, 16, TrackTagDelay}, // ends at cycle 30
+		{"inflight", 12, 23, TrackCommit},    // issue 12 → commit 35
+		{"lfb-stall", 20, 9, TrackLFB},
+		{"inflight", 21, 1, TrackCommit}, // dur 0 clamps to 1
+	} {
+		got := spans[i]
+		if got.Name != w.name || got.Ts != w.ts || got.Dur != w.dur || got.Tid != w.tid {
+			t.Fatalf("span %d = %+v, want %+v", i, got, w)
+		}
+	}
+}
+
+// TestChromeTraceRoundTrip marshals the trace, unmarshals it, and re-marshals:
+// the schema must survive encoding/json both ways byte-identically.
+func TestChromeTraceRoundTrip(t *testing.T) {
+	ct := BuildChromeTrace(fixtureTracer())
+	data, err := json.Marshal(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ChromeTrace
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*ct, back) {
+		t.Fatal("trace did not survive a JSON round trip")
+	}
+	data2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("re-marshal is not byte-identical")
+	}
+}
+
+func TestMetricsRecordRoundTrip(t *testing.T) {
+	m := NewMetrics(2)
+	m.Core(0).IssueToCommit.Observe(10)
+	m.Core(0).IssueToCommit.Observe(300) // lands in the clamped top bucket
+	m.Core(1).TagDelay.Observe(48)
+	rec := m.Record("505.mcf_r", "SpecASan", 1234, 999)
+	if rec.Schema != MetricsSchema {
+		t.Fatalf("schema = %q", rec.Schema)
+	}
+	var buf bytes.Buffer
+	if err := WriteMetricsLine(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.Bytes()
+	if line[len(line)-1] != '\n' {
+		t.Fatal("JSONL line must end in newline")
+	}
+	var back MetricsRecord
+	if err := json.Unmarshal(line, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec, back) {
+		t.Fatalf("record did not survive a JSON round trip:\n%+v\n%+v", rec, back)
+	}
+	// 2 cores x 4 metrics, core-major registration order.
+	if len(back.Histograms) != 8 {
+		t.Fatalf("%d histograms", len(back.Histograms))
+	}
+	if back.Histograms[0].Component != "core0" || back.Histograms[4].Component != "core1" {
+		t.Fatal("histogram order lost")
+	}
+	// Trailing-zero trimming: the top-bucket sample keeps all 64 buckets, the
+	// untouched histograms serialise with no counts at all.
+	if n := len(back.Histograms[0].Counts); n != 64 {
+		t.Fatalf("core0 issue-to-commit counts trimmed to %d, want full 64 (top bucket hit)", n)
+	}
+	if back.Histograms[1].Counts != nil {
+		t.Fatal("empty histogram must serialise without counts")
+	}
+}

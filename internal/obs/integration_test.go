@@ -1,0 +1,203 @@
+package obs_test
+
+import (
+	"testing"
+
+	"specasan/internal/attacks"
+	"specasan/internal/core"
+	"specasan/internal/cpu"
+	"specasan/internal/isa"
+	"specasan/internal/obs"
+	"specasan/internal/workloads"
+)
+
+// attachFresh builds and attaches a tracer and metrics bundle sized for m.
+func attachFresh(m *cpu.Machine, capacity int) (*obs.Tracer, *obs.Metrics) {
+	tr := obs.NewTracer(len(m.Cores), capacity)
+	met := obs.NewMetrics(len(m.Cores))
+	m.AttachObs(tr, met)
+	return tr, met
+}
+
+// kindCounts tallies retained trace events by kind across cores.
+func kindCounts(tr *obs.Tracer) map[obs.EventKind]uint64 {
+	counts := map[obs.EventKind]uint64{}
+	for i := 0; i < tr.Cores(); i++ {
+		for _, ev := range tr.Core(i).Events() {
+			counts[ev.Kind]++
+		}
+	}
+	return counts
+}
+
+// TestObservedLifecycleMatchesRun attaches the full observability layer to a
+// benign benchmark run and cross-checks the trace and metrics against the
+// machine's own result: every committed instruction must appear as exactly
+// one EvCommit and one issue-to-commit latency sample.
+func TestObservedLifecycleMatchesRun(t *testing.T) {
+	spec := workloads.ByName("505.mcf_r")
+	if spec == nil {
+		t.Fatal("workload missing")
+	}
+	prog, err := spec.Build(false, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Cores = spec.Threads
+	m, err := cpu.NewMachine(cfg, core.Unsafe, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, met := attachFresh(m, 1<<20)
+	res := m.Run(50_000_000)
+	if res.TimedOut || res.Faulted || res.Err != nil {
+		t.Fatalf("run did not complete cleanly: %v", res)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("ring dropped %d events; enlarge the test capacity", tr.Dropped())
+	}
+	counts := kindCounts(tr)
+	if counts[obs.EvCommit] != res.Committed {
+		t.Errorf("EvCommit count %d, machine committed %d", counts[obs.EvCommit], res.Committed)
+	}
+	var latSamples uint64
+	for i := 0; i < len(m.Cores); i++ {
+		latSamples += met.Core(i).IssueToCommit.N
+	}
+	if latSamples != res.Committed {
+		t.Errorf("issue-to-commit samples %d, committed %d", latSamples, res.Committed)
+	}
+	// The pipeline can only commit what it fetched, dispatched, and issued.
+	for _, k := range []obs.EventKind{obs.EvFetch, obs.EvDispatch, obs.EvIssue, obs.EvExec} {
+		if counts[k] < res.Committed {
+			t.Errorf("%v count %d < committed %d", k, counts[k], res.Committed)
+		}
+	}
+	// Event streams are per-core monotone in cycle order.
+	for i := 0; i < tr.Cores(); i++ {
+		evs := tr.Core(i).Events()
+		for j := 1; j < len(evs); j++ {
+			if evs[j].Cycle < evs[j-1].Cycle {
+				t.Fatalf("core %d: event %d at cycle %d after cycle %d",
+					i, j, evs[j].Cycle, evs[j-1].Cycle)
+			}
+		}
+	}
+}
+
+// TestTagDelayObservedOnSpectre runs the paper's PHT gadget under SpecASan
+// with observability attached: the mitigation must still block the leak, the
+// tag-check-delay histogram must record the held accesses (the Table 1
+// mechanism made measurable), and every delay-start must pair with a
+// delay-end whose duration matches the histogram.
+func TestTagDelayObservedOnSpectre(t *testing.T) {
+	v := attacks.SpectrePHT().Variants[0]
+	var tr *obs.Tracer
+	var met *obs.Metrics
+	out, err := attacks.RunVariantWith(v, core.SpecASan, func(m *cpu.Machine) {
+		tr, met = attachFresh(m, 1<<20)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Leaked {
+		t.Fatal("SpecASan must block the PHT gadget")
+	}
+	var delays uint64
+	for i := 0; ; i++ {
+		cm := met.Core(i)
+		if cm == nil {
+			break
+		}
+		delays += cm.TagDelay.N
+	}
+	if delays == 0 {
+		t.Fatal("no tag-check delays recorded; SpecASan held nothing")
+	}
+	counts := kindCounts(tr)
+	if counts[obs.EvTagDelayStart] == 0 || counts[obs.EvTagDelayEnd] == 0 {
+		t.Fatalf("trace missing tag-delay events: %v", counts)
+	}
+	if counts[obs.EvTagDelayEnd] != delays {
+		t.Errorf("trace has %d delay ends, histogram has %d samples",
+			counts[obs.EvTagDelayEnd], delays)
+	}
+	// Ends carry the delay duration; cross-check the histogram's total.
+	var sum uint64
+	for i := 0; i < tr.Cores(); i++ {
+		for _, ev := range tr.Core(i).Events() {
+			if ev.Kind == obs.EvTagDelayEnd {
+				sum += ev.Arg
+			}
+		}
+	}
+	var histSum uint64
+	for i := 0; i < tr.Cores(); i++ {
+		histSum += met.Core(i).TagDelay.Sum
+	}
+	if sum != histSum {
+		t.Errorf("trace delay cycles %d, histogram sum %d", sum, histSum)
+	}
+}
+
+// TestSquashDepthObserved drives a branch-mispredicting run and checks the
+// squash instrumentation: EvSquash events and squash-depth samples appear,
+// and the histogram's total flushed-instruction count matches the trace.
+func TestSquashDepthObserved(t *testing.T) {
+	v := attacks.SpectrePHT().Variants[0]
+	var tr *obs.Tracer
+	var met *obs.Metrics
+	if _, err := attacks.RunVariantWith(v, core.Unsafe, func(m *cpu.Machine) {
+		tr, met = attachFresh(m, 1<<20)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	counts := kindCounts(tr)
+	if counts[obs.EvSquash] == 0 {
+		t.Fatal("a mistrained PHT run must squash")
+	}
+	var squashed, samples uint64
+	for i := 0; i < tr.Cores(); i++ {
+		squashed += met.Core(i).SquashDepth.Sum
+		samples += met.Core(i).SquashDepth.N
+	}
+	if samples == 0 {
+		t.Fatal("no squash-depth samples")
+	}
+	if squashed != counts[obs.EvSquash] {
+		t.Errorf("squash-depth histogram sums to %d insts, trace shows %d EvSquash",
+			squashed, counts[obs.EvSquash])
+	}
+}
+
+// TestAttachObsPartial pins the attach contract: a nil argument leaves the
+// other attachment in place, so tracing and metrics can be wired separately.
+func TestAttachObsPartial(t *testing.T) {
+	spec := workloads.ByName("508.namd_r")
+	prog, err := spec.Build(false, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Cores = spec.Threads
+	m, err := cpu.NewMachine(cfg, core.Unsafe, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := obs.NewMetrics(len(m.Cores))
+	m.AttachObs(nil, met)
+	tr := obs.NewTracer(len(m.Cores), 1<<16)
+	m.AttachObs(tr, nil) // must not clear the metrics attachment
+	m.Core(0).SetReg(isa.X0, 0)
+	res := m.Run(10_000_000)
+	if res.Committed == 0 {
+		t.Fatal("nothing committed")
+	}
+	if met.Core(0).IssueToCommit.N == 0 {
+		t.Fatal("metrics detached by the second AttachObs call")
+	}
+	if tr.Recorded() == 0 {
+		t.Fatal("tracer not attached")
+	}
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestCoreTraceBasics(t *testing.T) {
+	tr := NewCoreTrace(3, 8)
+	if tr.CoreID() != 3 {
+		t.Fatalf("CoreID = %d", tr.CoreID())
+	}
+	for i := uint64(0); i < 5; i++ {
+		tr.Record(100+i, i, 0x1000+4*i, EvIssue, 0)
+	}
+	if tr.Len() != 5 || tr.Recorded() != 5 || tr.Dropped() != 0 {
+		t.Fatalf("Len=%d Recorded=%d Dropped=%d", tr.Len(), tr.Recorded(), tr.Dropped())
+	}
+	evs := tr.Events()
+	if len(evs) != 5 {
+		t.Fatalf("Events() = %d entries", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Cycle != 100+uint64(i) || ev.Seq != uint64(i) || ev.Kind != EvIssue {
+			t.Fatalf("event %d = %+v", i, ev)
+		}
+	}
+}
+
+// TestCoreTraceWraparound pins the ring contract: once full, the oldest
+// events are overwritten and counted, and Events() returns the retained
+// window oldest-first regardless of where the write cursor sits.
+func TestCoreTraceWraparound(t *testing.T) {
+	tr := NewCoreTrace(0, 4)
+	for i := uint64(0); i < 10; i++ {
+		tr.Record(i, i, 0, EvCommit, 0)
+	}
+	if tr.Len() != 4 || tr.Recorded() != 10 || tr.Dropped() != 6 {
+		t.Fatalf("Len=%d Recorded=%d Dropped=%d", tr.Len(), tr.Recorded(), tr.Dropped())
+	}
+	evs := tr.Events()
+	for i, want := range []uint64{6, 7, 8, 9} {
+		if evs[i].Seq != want {
+			t.Fatalf("Events() = %v, want seqs 6..9 oldest-first", evs)
+		}
+	}
+	// Exactly-full (cursor at slot 0) is the boundary case: no drops yet.
+	tr = NewCoreTrace(0, 4)
+	for i := uint64(0); i < 4; i++ {
+		tr.Record(i, i, 0, EvCommit, 0)
+	}
+	if tr.Dropped() != 0 || tr.Len() != 4 || tr.Events()[0].Seq != 0 {
+		t.Fatalf("exactly-full ring: Dropped=%d Len=%d first=%+v", tr.Dropped(), tr.Len(), tr.Events()[0])
+	}
+}
+
+func TestCoreTraceDefaultCapacity(t *testing.T) {
+	tr := NewCoreTrace(0, 0)
+	if len(tr.buf) != DefaultTraceCapacity {
+		t.Fatalf("default capacity = %d", len(tr.buf))
+	}
+}
+
+func TestTracerCoreBounds(t *testing.T) {
+	var nilTr *Tracer
+	if nilTr.Core(0) != nil {
+		t.Fatal("nil tracer must yield nil cores")
+	}
+	tr := NewTracer(2, 16)
+	if tr.Cores() != 2 {
+		t.Fatalf("Cores() = %d", tr.Cores())
+	}
+	if tr.Core(-1) != nil || tr.Core(2) != nil {
+		t.Fatal("out-of-range cores must be nil")
+	}
+	if tr.Core(0) == nil || tr.Core(1) == nil || tr.Core(0) == tr.Core(1) {
+		t.Fatal("in-range cores must be distinct non-nil rings")
+	}
+	tr.Core(0).Record(1, 1, 0, EvFetch, 0)
+	tr.Core(1).Record(2, 2, 0, EvFetch, 0)
+	tr.Core(1).Record(3, 3, 0, EvFetch, 0)
+	if tr.Recorded() != 3 || tr.Dropped() != 0 {
+		t.Fatalf("Recorded=%d Dropped=%d", tr.Recorded(), tr.Dropped())
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	for k := EventKind(0); k < numEventKinds; k++ {
+		if k.String() == "" || k.String() == "event(?)" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if EventKind(200).String() != "event(?)" {
+		t.Fatal("out-of-range kind must not panic")
+	}
+}
+
+func TestRegistryCreateAndReuse(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histogram("core0", "lat", 4, 8)
+	b := r.Histogram("core0", "lat", 4, 8)
+	if a != b {
+		t.Fatal("same key must return the same histogram")
+	}
+	r.Histogram("core1", "lat", 4, 8)
+	r.Histogram("core0", "depth", 2, 4)
+	hists := r.Hists()
+	wantKeys := []string{"core0/lat", "core1/lat", "core0/depth"}
+	if len(hists) != len(wantKeys) {
+		t.Fatalf("%d histograms registered", len(hists))
+	}
+	for i, h := range hists {
+		if h.Key() != wantKeys[i] {
+			t.Fatalf("registration order %v, want %v", h.Key(), wantKeys[i])
+		}
+	}
+}
+
+func TestRegistryShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch must panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Histogram("c", "h", 4, 8)
+	r.Histogram("c", "h", 8, 8)
+}
+
+func TestRegistryMerge(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Histogram("core0", "lat", 4, 8).Observe(3)
+	b.Histogram("core0", "lat", 4, 8).Observe(5)
+	b.Histogram("core1", "lat", 4, 8).Observe(9)
+	a.Merge(b)
+	hists := a.Hists()
+	if len(hists) != 2 {
+		t.Fatalf("merged registry has %d histograms", len(hists))
+	}
+	if hists[0].Key() != "core0/lat" || hists[1].Key() != "core1/lat" {
+		t.Fatalf("merge order: %s, %s", hists[0].Key(), hists[1].Key())
+	}
+	if hists[0].H.N != 2 || hists[0].H.Sum != 8 {
+		t.Fatalf("merged core0/lat: N=%d Sum=%d", hists[0].H.N, hists[0].H.Sum)
+	}
+	if hists[1].H.N != 1 || hists[1].H.Sum != 9 {
+		t.Fatalf("merged core1/lat: N=%d Sum=%d", hists[1].H.N, hists[1].H.Sum)
+	}
+}
+
+func TestMetricsCoreBounds(t *testing.T) {
+	var nilM *Metrics
+	if nilM.Core(0) != nil {
+		t.Fatal("nil metrics must yield nil cores")
+	}
+	m := NewMetrics(2)
+	if m.Core(-1) != nil || m.Core(2) != nil {
+		t.Fatal("out-of-range cores must be nil")
+	}
+	cm := m.Core(1)
+	if cm == nil || cm.IssueToCommit == nil || cm.TagDelay == nil ||
+		cm.SquashDepth == nil || cm.LFBStall == nil {
+		t.Fatal("core metrics must be fully preallocated")
+	}
+	// Per-core bundles share the registry: the export sees the observation.
+	cm.TagDelay.Observe(12)
+	for _, h := range m.Registry().Hists() {
+		if h.Key() == "core1/tag_check_delay_cycles" && h.H.N == 1 {
+			return
+		}
+	}
+	t.Fatal("observation did not reach the registry")
+}

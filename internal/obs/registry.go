@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+
+	"specasan/internal/stats"
+)
+
+// Hist is one labelled histogram in a Registry: a name (the metric), a
+// component label (which part of the machine produced it — "core0", "l1d"),
+// and the backing stats.Histogram.
+type Hist struct {
+	Name      string
+	Component string
+	H         *stats.Histogram
+}
+
+// Key returns the registry key, "component/name".
+func (h *Hist) Key() string { return h.Component + "/" + h.Name }
+
+// Registry is an ordered collection of labelled histograms layered on
+// internal/stats. Ordering is first-registration order (like stats.Set's
+// counters), which is what keeps every JSON export byte-deterministic.
+type Registry struct {
+	hists []*Hist
+	byKey map[string]*Hist
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*Hist)}
+}
+
+// Histogram returns the histogram registered under (component, name),
+// creating it with the given shape on first use. Asking for an existing key
+// with a different shape is a programming error and panics.
+func (r *Registry) Histogram(component, name string, bucketWidth uint64, buckets int) *stats.Histogram {
+	key := component + "/" + name
+	if h, ok := r.byKey[key]; ok {
+		if h.H.BucketWidth != bucketWidth || len(h.H.Counts) != buckets {
+			panic(fmt.Sprintf("obs: histogram %s re-registered with different shape", key))
+		}
+		return h.H
+	}
+	h := &Hist{Name: name, Component: component, H: stats.NewHistogram(bucketWidth, buckets)}
+	r.hists = append(r.hists, h)
+	r.byKey[key] = h
+	return h.H
+}
+
+// Hists returns the registered histograms in registration order.
+func (r *Registry) Hists() []*Hist { return r.hists }
+
+// Merge folds every histogram of other into r, creating same-shaped
+// histograms for keys r has not seen. Registration order of new keys follows
+// other's order, so merging per-core registries in core order is
+// deterministic.
+func (r *Registry) Merge(other *Registry) {
+	for _, h := range other.hists {
+		dst := r.Histogram(h.Component, h.Name, h.H.BucketWidth, len(h.H.Counts))
+		dst.Merge(h.H)
+	}
+}
+
+// Histogram bucket shapes for the core metrics. Widths are in cycles; the
+// top bucket absorbs the tail (stats.Histogram clamps).
+const (
+	issueToCommitBucketW = 4
+	issueToCommitBuckets = 64
+	tagDelayBucketW      = 8
+	tagDelayBuckets      = 64
+	squashDepthBucketW   = 8
+	squashDepthBuckets   = 32
+	lfbStallBucketW      = 8
+	lfbStallBuckets      = 32
+)
+
+// CoreMetrics is the per-core bundle the pipeline observes into directly.
+// Every field is preallocated at attach time; Observe calls are plain array
+// increments, so the metrics path is allocation-free in steady state.
+type CoreMetrics struct {
+	// IssueToCommit is the issue-to-commit latency of committed
+	// instructions, in cycles.
+	IssueToCommit *stats.Histogram
+	// TagDelay is the number of cycles SpecASan held each unsafe
+	// speculative access before replaying it.
+	TagDelay *stats.Histogram
+	// SquashDepth is the number of instructions flushed per squash.
+	SquashDepth *stats.Histogram
+	// LFBStall is the number of cycles accesses waited on in-flight
+	// line-fill-buffer entries.
+	LFBStall *stats.Histogram
+}
+
+// Metrics is a machine's metrics bundle: one CoreMetrics per core, all
+// registered in one Registry under "core<i>" component labels.
+type Metrics struct {
+	reg   *Registry
+	cores []*CoreMetrics
+}
+
+// NewMetrics builds the metrics bundle for n cores.
+func NewMetrics(n int) *Metrics {
+	m := &Metrics{reg: NewRegistry(), cores: make([]*CoreMetrics, n)}
+	for i := range m.cores {
+		comp := fmt.Sprintf("core%d", i)
+		m.cores[i] = &CoreMetrics{
+			IssueToCommit: m.reg.Histogram(comp, "issue_to_commit_cycles", issueToCommitBucketW, issueToCommitBuckets),
+			TagDelay:      m.reg.Histogram(comp, "tag_check_delay_cycles", tagDelayBucketW, tagDelayBuckets),
+			SquashDepth:   m.reg.Histogram(comp, "squash_depth_insts", squashDepthBucketW, squashDepthBuckets),
+			LFBStall:      m.reg.Histogram(comp, "lfb_stall_cycles", lfbStallBucketW, lfbStallBuckets),
+		}
+	}
+	return m
+}
+
+// Core returns core i's metrics bundle (nil when out of range).
+func (m *Metrics) Core(i int) *CoreMetrics {
+	if m == nil || i < 0 || i >= len(m.cores) {
+		return nil
+	}
+	return m.cores[i]
+}
+
+// Registry exposes the underlying registry (exports, tests).
+func (m *Metrics) Registry() *Registry { return m.reg }

@@ -141,6 +141,26 @@ func (h *Histogram) Observe(v uint64) {
 	}
 }
 
+// Merge folds other's samples into h. Both histograms must share the same
+// bucket shape (width and count); mismatched shapes panic, since silently
+// rebinning would corrupt percentile bounds.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.N == 0 {
+		return
+	}
+	if h.BucketWidth != other.BucketWidth || len(h.Counts) != len(other.Counts) {
+		panic("stats: Histogram.Merge shape mismatch")
+	}
+	for i, c := range other.Counts {
+		h.Counts[i] += c
+	}
+	h.N += other.N
+	h.Sum += other.Sum
+	if other.Max > h.Max {
+		h.Max = other.Max
+	}
+}
+
 // MeanValue returns the mean of the observed samples.
 func (h *Histogram) MeanValue() float64 {
 	if h.N == 0 {
@@ -160,6 +180,12 @@ func (h *Histogram) Percentile(p float64) uint64 {
 	for i, c := range h.Counts {
 		cum += c
 		if cum >= target {
+			if i == len(h.Counts)-1 {
+				// The last bucket is open-ended (out-of-range samples are
+				// clamped into it), so its fixed boundary can understate the
+				// data; the observed max is the tight upper bound.
+				return h.Max
+			}
 			return uint64(i+1) * h.BucketWidth
 		}
 	}

@@ -87,6 +87,65 @@ func TestMean(t *testing.T) {
 	}
 }
 
+func TestSetEmpty(t *testing.T) {
+	s := NewSet("empty")
+	if got := s.String(); got != "empty{}" {
+		t.Fatalf("String() = %q", got)
+	}
+	if keys := s.Keys(); len(keys) != 0 {
+		t.Fatalf("Keys() = %v, want none", keys)
+	}
+	if r := s.Ratio("a", "b"); r != 0 {
+		t.Fatalf("Ratio on empty set = %v", r)
+	}
+	// Merging an empty set changes nothing, either direction.
+	a := NewSet("a")
+	a.Inc("x")
+	a.Merge(s)
+	s.Merge(a)
+	if a.Get("x") != 1 || s.Get("x") != 1 {
+		t.Fatal("merge with empty set wrong")
+	}
+}
+
+// TestSetDuplicateKeysOrder pins the first-use ordering contract: re-adding
+// or re-setting an existing key must not duplicate it or move it, and Merge
+// appends only keys the receiver has not seen.
+func TestSetDuplicateKeysOrder(t *testing.T) {
+	s := NewSet("s")
+	s.Inc("b")
+	s.Inc("a")
+	s.Set("b", 7) // existing key: value changes, position does not
+	s.Add("a", 2)
+	s.Inc("c")
+	want := []string{"b", "a", "c"}
+	got := s.Keys()
+	if len(got) != len(want) {
+		t.Fatalf("Keys() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys() = %v, want %v", got, want)
+		}
+	}
+	other := NewSet("o")
+	other.Inc("a") // already known: must not reappear at the tail
+	other.Inc("d")
+	s.Merge(other)
+	want = []string{"b", "a", "c", "d"}
+	got = s.Keys()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after merge Keys() = %v, want %v", got, want)
+		}
+	}
+	// Mutating the returned slice must not corrupt the set.
+	got[0] = "zzz"
+	if s.Keys()[0] != "b" {
+		t.Fatal("Keys() must return a copy")
+	}
+}
+
 func TestHistogram(t *testing.T) {
 	h := NewHistogram(10, 5)
 	for _, v := range []uint64{1, 5, 15, 25, 1000} {
@@ -104,4 +163,86 @@ func TestHistogram(t *testing.T) {
 	if h.Percentile(100) < 40 {
 		t.Fatal("p100 must reach the top bucket")
 	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(10, 4)
+	if h.MeanValue() != 0 {
+		t.Fatal("empty mean must be 0")
+	}
+	for _, p := range []float64{0, 50, 99, 100} {
+		if h.Percentile(p) != 0 {
+			t.Fatalf("empty p%v = %d", p, h.Percentile(p))
+		}
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	h := NewHistogram(10, 4)
+	h.Observe(17)
+	if h.N != 1 || h.Sum != 17 || h.Max != 17 {
+		t.Fatalf("moments wrong: N=%d Sum=%d Max=%d", h.N, h.Sum, h.Max)
+	}
+	if h.MeanValue() != 17 {
+		t.Fatalf("mean = %v", h.MeanValue())
+	}
+	// Every percentile of a one-sample distribution is that sample's bucket
+	// upper bound.
+	for _, p := range []float64{1, 50, 99, 100} {
+		if got := h.Percentile(p); got != 20 {
+			t.Fatalf("p%v = %d, want 20", p, got)
+		}
+	}
+	if h.Counts[1] != 1 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram(10, 4)
+	h.Observe(1 << 40) // far past the last bucket boundary
+	if h.Counts[3] != 1 {
+		t.Fatalf("overflow must land in the last bucket: %v", h.Counts)
+	}
+	if h.Percentile(100) != 1<<40 {
+		t.Fatalf("p100 = %d, want the true max", h.Percentile(100))
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(10, 4)
+	b := NewHistogram(10, 4)
+	for _, v := range []uint64{1, 11, 21} {
+		a.Observe(v)
+	}
+	for _, v := range []uint64{5, 500} {
+		b.Observe(v)
+	}
+	a.Merge(b)
+	if a.N != 5 || a.Sum != 1+11+21+5+500 || a.Max != 500 {
+		t.Fatalf("merged moments wrong: N=%d Sum=%d Max=%d", a.N, a.Sum, a.Max)
+	}
+	if a.Counts[0] != 2 || a.Counts[3] != 1 {
+		t.Fatalf("merged counts = %v", a.Counts)
+	}
+	// Merging nil or an empty histogram is a no-op, even on shape mismatch
+	// (an empty histogram carries no samples to rebin).
+	before := a.N
+	a.Merge(nil)
+	a.Merge(NewHistogram(999, 1))
+	if a.N != before {
+		t.Fatal("empty merge must not change N")
+	}
+}
+
+func TestHistogramMergeShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch must panic")
+		}
+	}()
+	a := NewHistogram(10, 4)
+	b := NewHistogram(20, 4)
+	b.Observe(1)
+	a.Merge(b)
 }
