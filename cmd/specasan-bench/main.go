@@ -45,6 +45,7 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write per-cell metrics records (JSONL, cell order) to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
+	skipIdle := flag.Bool("skip-idle", true, "event-driven idle-cycle skipping (exactness-preserving; off walks every cycle)")
 	verbose := flag.Bool("v", false, "log each run")
 	flag.Parse()
 
@@ -64,6 +65,7 @@ func main() {
 	opt.Verbose = *verbose
 	opt.Log = os.Stderr
 	opt.Workers = *workers
+	opt.NoSkipIdle = !*skipIdle
 
 	if *metricsOut != "" {
 		f, err := os.Create(*metricsOut)
@@ -154,6 +156,14 @@ func main() {
 func runPerf(path string, opt harness.Options) {
 	rep, err := harness.MeasurePerf(perfSteps, workloads.SPEC(), harness.Figure6Mitigations(), opt)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "specasan-bench:", err)
+		os.Exit(1)
+	}
+	desc := "event-driven idle skipping + flat memory/tag/cache paths"
+	if opt.NoSkipIdle {
+		desc = "flat memory/tag/cache paths (idle skipping disabled)"
+	}
+	if err := rep.AppendHistory(path, desc); err != nil {
 		fmt.Fprintln(os.Stderr, "specasan-bench:", err)
 		os.Exit(1)
 	}

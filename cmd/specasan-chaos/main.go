@@ -51,6 +51,8 @@ func main() {
 	traceIdx := flag.Int("trace", -1, "re-run one campaign cell (by index) with event tracing and write a Chrome trace")
 	traceOut := flag.String("trace-out", "trace.json", "where -trace writes its Chrome trace-event JSON")
 	metricsOut := flag.String("metrics-out", "", "write per-cell metrics records (JSONL, cell order) to this file")
+	skipIdle := flag.Bool("skip-idle", true,
+		"event-driven idle-cycle skipping; injected runs bypass it regardless (the per-cycle fault driver must see every cycle)")
 	verbose := flag.Bool("v", false, "log each run")
 	flag.Parse()
 
@@ -126,7 +128,8 @@ func main() {
 		metricsW = f
 	}
 
-	reps, err := chaos.RunCampaignMetrics(cells, *scale, *maxCycles, *workers, metricsW)
+	reps, err := chaos.RunCampaignMetrics(cells, *scale, *maxCycles, *workers, metricsW,
+		func(m *cpu.Machine) { m.SkipIdle = *skipIdle })
 	if err != nil {
 		c := cells[len(reps)]
 		fail("%s/%v: %v", c.Spec.Name, c.Mit, err)

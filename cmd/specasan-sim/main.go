@@ -37,6 +37,7 @@ func main() {
 	pipeview := flag.Int("pipeview", 0, "render a timeline of the last N instructions")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
+	skipIdle := flag.Bool("skip-idle", true, "event-driven idle-cycle skipping (exactness-preserving; off walks every cycle)")
 	flag.Parse()
 
 	if *showConfig {
@@ -89,6 +90,7 @@ func main() {
 	for i := 0; i < threads; i++ {
 		m.Core(i).SetReg(isa.X0, uint64(i))
 	}
+	m.SkipIdle = *skipIdle
 	if *traceText {
 		m.Core(0).TraceFn = func(f string, a ...any) { fmt.Printf(f+"\n", a...) }
 	}

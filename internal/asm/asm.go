@@ -165,6 +165,13 @@ func Assemble(src string) (*Program, error) {
 			return nil, &Error{it.line, "internal: instruction placement failed"}
 		}
 	}
+	// Fixups are resolved, so operand lists are final: cache them.
+	for bi := range a.code {
+		b := &a.code[bi]
+		for i := range b.Insts {
+			b.Insts[i].Decode()
+		}
+	}
 	entry := uint64(0)
 	if e, ok := a.labels["_start"]; ok {
 		entry = e

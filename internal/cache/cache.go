@@ -235,8 +235,11 @@ func (f *LFB) find(lineAddr uint64, now uint64) *lfbEntry {
 	return nil
 }
 
-// allocate takes the oldest slot for a new in-flight line.
-func (f *LFB) allocate(lineAddr uint64, now, dataAt uint64, snapshot []byte) *lfbEntry {
+// allocate takes the oldest slot for a new in-flight line. The returned
+// entry's snapshot is sized to lineSz and must be filled by the caller with
+// the in-flight bytes; the buffer behind it is reused across fills so
+// steady-state allocation is zero.
+func (f *LFB) allocate(lineAddr uint64, now, dataAt uint64, lineSz int) *lfbEntry {
 	var victim *lfbEntry
 	for i := range f.entries {
 		e := &f.entries[i]
@@ -248,7 +251,11 @@ func (f *LFB) allocate(lineAddr uint64, now, dataAt uint64, snapshot []byte) *lf
 			victim = e
 		}
 	}
-	*victim = lfbEntry{valid: true, addr: lineAddr, dataAt: dataAt, snapshot: snapshot, allocAt: now}
+	buf := victim.snapshot[:0]
+	if cap(buf) < lineSz {
+		buf = make([]byte, lineSz)
+	}
+	*victim = lfbEntry{valid: true, addr: lineAddr, dataAt: dataAt, snapshot: buf[:lineSz], allocAt: now}
 	f.Fills++
 	return victim
 }
@@ -348,7 +355,7 @@ type Hierarchy struct {
 	Ghost []*Ghost
 	L2    *Level
 	Ctrl  *mem.Controller
-	dir   map[uint64]*dirEntry
+	dir   *dirTable
 
 	lineSz     int
 	mteOn      bool
@@ -431,7 +438,7 @@ func NewHierarchy(cfg HierConfig, img *mem.Image) (*Hierarchy, error) {
 		Img:             img,
 		L2:              l2,
 		Ctrl:            mem.NewController(cfg.DRAM, cfg.MTEOn),
-		dir:             make(map[uint64]*dirEntry),
+		dir:             newDirTable(),
 		lineSz:          cfg.LineBytes,
 		mteOn:           cfg.MTEOn,
 		lfbTagging:      cfg.LFBTagging,
@@ -461,12 +468,7 @@ func (h *Hierarchy) lineAddr(addr uint64) uint64 { return addr &^ uint64(h.lineS
 
 // dirFor returns (creating) the directory entry for a line.
 func (h *Hierarchy) dirFor(lineAddr uint64) *dirEntry {
-	d := h.dir[lineAddr]
-	if d == nil {
-		d = &dirEntry{owner: -1}
-		h.dir[lineAddr] = d
-	}
-	return d
+	return h.dir.getOrCreate(lineAddr, dirEntry{owner: -1})
 }
 
 // tagCheck performs the MTE check for a pointer against authoritative tag
@@ -658,7 +660,7 @@ func (h *Hierarchy) Access(req AccessReq) AccessRes {
 	}
 	mshrStart := l1.reserveMSHR(start, dataAt-start)
 	_ = mshrStart
-	lfb.allocate(la, req.Now, dataAt, h.Img.Read(la, h.lineSz))
+	h.Img.ReadInto(la, lfb.allocate(la, req.Now, dataAt, h.lineSz).snapshot)
 	if h.prefetchOn && !req.Write {
 		h.prefetchNext(req.Core, la, start+l1.hitLat)
 	}
@@ -784,7 +786,7 @@ func (h *Hierarchy) fetchFromL2(core int, lineAddr uint64, now uint64, forWrite,
 	}
 	if wbAddr, wb := h.L2.install(lineAddr, now, memReady, shared); wb {
 		h.Ctrl.Writeback(now)
-		delete(h.dir, wbAddr) // inclusive: L1 copies of the victim are gone too
+		h.dir.del(wbAddr) // inclusive: L1 copies of the victim are gone too
 		for c := range h.L1D {
 			h.L1D[c].invalidate(wbAddr)
 		}
@@ -855,7 +857,7 @@ func (h *Hierarchy) FlushLine(ptr uint64, now uint64) uint64 {
 	if dirty, present := h.L2.invalidate(la); present && dirty {
 		h.Ctrl.Writeback(now)
 	}
-	delete(h.dir, la)
+	h.dir.del(la)
 	return now + 8 // maintenance-op latency
 }
 

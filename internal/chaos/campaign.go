@@ -37,8 +37,9 @@ func RunCampaign(cells []CampaignCell, scale float64, maxCycles uint64,
 // stream: one record per successfully-run cell, buffered cell-locally and
 // flushed in cell order, so the stream is byte-identical for any worker
 // count. A nil metrics writer disables the instrumentation entirely.
+// Extra attach hooks run on every cell's machine after construction.
 func RunCampaignMetrics(cells []CampaignCell, scale float64, maxCycles uint64,
-	workers int, metrics io.Writer) ([]*RunReport, error) {
+	workers int, metrics io.Writer, extraAttach ...func(*cpu.Machine)) ([]*RunReport, error) {
 
 	reps := make([]*RunReport, len(cells))
 	errs := make([]error, len(cells))
@@ -48,7 +49,7 @@ func RunCampaignMetrics(cells []CampaignCell, scale float64, maxCycles uint64,
 		flush = func(i int) { io.Copy(metrics, &bufs[i]) }
 	}
 	par.ForEachOrdered(len(cells), workers, func(i int) {
-		var attach []func(*cpu.Machine)
+		attach := append([]func(*cpu.Machine){}, extraAttach...)
 		var met *obs.Metrics
 		if metrics != nil {
 			attach = append(attach, func(m *cpu.Machine) {

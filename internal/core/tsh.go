@@ -54,28 +54,83 @@ type TSHStats struct {
 //
 // Entries are keyed by the instruction's global sequence number, which the
 // pipeline already uses to identify LQ/SQ entries.
+//
+// Tracked sequence numbers are allocated monotonically and live only while
+// the instruction is in flight, so at any instant they span at most the
+// ROB window. That makes a power-of-two ring indexed by seq&mask a perfect
+// hash in the steady state; the ring doubles on the (never expected)
+// collision so the structure stays correct for any window size without
+// the TSH having to know the ROB capacity.
 type TSH struct {
-	rob    ROBSignal
-	status map[uint64]TCS
-	Stats  TSHStats
+	rob   ROBSignal
+	slots []tshSlot
+	mask  uint64
+	count int
+	Stats TSHStats
+}
+
+// tshSlot keeps a tracked seq, its status, and the occupancy bit together in
+// one 16-byte record so every probe touches a single cache line.
+type tshSlot struct {
+	seq  uint64
+	tcs  TCS
+	live bool
 }
 
 // NewTSH returns a TSH wired to the given ROB.
 func NewTSH(rob ROBSignal) *TSH {
-	return &TSH{rob: rob, status: make(map[uint64]TCS)}
+	t := &TSH{rob: rob}
+	t.grow(1024)
+	return t
+}
+
+// grow resizes the ring to n slots (a power of two) and reinserts the
+// live entries. Distinct live seqs within one window cannot collide once
+// n exceeds the window span, so growth terminates.
+func (t *TSH) grow(n int) {
+	old := t.slots
+	t.slots = make([]tshSlot, n)
+	t.mask = uint64(n - 1)
+	for _, s := range old {
+		if s.live {
+			t.slots[s.seq&t.mask] = s
+		}
+	}
+}
+
+// set stores status v for seq, claiming or resizing a slot as needed.
+func (t *TSH) set(seq uint64, v TCS) {
+	for {
+		s := &t.slots[seq&t.mask]
+		if !s.live {
+			*s = tshSlot{seq: seq, tcs: v, live: true}
+			t.count++
+			return
+		}
+		if s.seq == seq {
+			s.tcs = v
+			return
+		}
+		t.grow(2 * len(t.slots))
+	}
 }
 
 // Allocate initialises the tcs field for a newly dispatched memory
 // instruction to "init".
-func (t *TSH) Allocate(seq uint64) { t.status[seq] = TCSInit }
+func (t *TSH) Allocate(seq uint64) { t.set(seq, TCSInit) }
 
 // Status returns the current tcs of seq ("init" if unknown).
-func (t *TSH) Status(seq uint64) TCS { return t.status[seq] }
+func (t *TSH) Status(seq uint64) TCS {
+	if s := &t.slots[seq&t.mask]; s.live && s.seq == seq {
+		return s.tcs
+	}
+	return TCSInit
+}
 
 // OnIssue transitions seq to "wait" when its memory request is sent to the
 // L1D cache or LFB (step ① of Figure 4).
 func (t *TSH) OnIssue(seq uint64) {
-	t.status[seq] = TCSWait
+	t.set(seq, TCSWait)
 	t.Stats.Issued++
 }
 
@@ -84,12 +139,12 @@ func (t *TSH) OnIssue(seq uint64) {
 // ROB (④/⑥). It returns the new state.
 func (t *TSH) OnResult(seq uint64, tagOK bool) TCS {
 	if tagOK {
-		t.status[seq] = TCSSafe
+		t.set(seq, TCSSafe)
 		t.Stats.Safe++
 		t.rob.SignalSSA(seq, true)
 		return TCSSafe
 	}
-	t.status[seq] = TCSUnsafe
+	t.set(seq, TCSUnsafe)
 	t.Stats.Unsafe++
 	t.rob.SignalSSA(seq, false)
 	return TCSUnsafe
@@ -101,12 +156,12 @@ func (t *TSH) OnResult(seq uint64, tagOK bool) TCS {
 // may proceed.
 func (t *TSH) OnForward(loadSeq uint64, keysMatch bool) bool {
 	if keysMatch {
-		t.status[loadSeq] = TCSSafe
+		t.set(loadSeq, TCSSafe)
 		t.Stats.Forwarded++
 		t.rob.SignalSSA(loadSeq, true)
 		return true
 	}
-	t.status[loadSeq] = TCSUnsafe
+	t.set(loadSeq, TCSUnsafe)
 	t.Stats.ForwardDenied++
 	t.rob.SignalSSA(loadSeq, false)
 	return false
@@ -116,8 +171,8 @@ func (t *TSH) OnForward(loadSeq uint64, keysMatch bool) bool {
 // instructions of an unsafe access are themselves marked unsafe in the
 // LQ/SQ so they do not issue while the unsafe parent is pending.
 func (t *TSH) MarkUnsafe(seq uint64) {
-	if t.status[seq] != TCSUnsafe {
-		t.status[seq] = TCSUnsafe
+	if t.Status(seq) != TCSUnsafe {
+		t.set(seq, TCSUnsafe)
 		t.Stats.DepMarked++
 	}
 }
@@ -125,7 +180,7 @@ func (t *TSH) MarkUnsafe(seq uint64) {
 // OnReplay transitions an unsafe entry back to "init" when speculation has
 // resolved in its favour and the access is re-issued non-speculatively.
 func (t *TSH) OnReplay(seq uint64) {
-	t.status[seq] = TCSInit
+	t.set(seq, TCSInit)
 	t.Stats.Replays++
 }
 
@@ -133,11 +188,16 @@ func (t *TSH) OnReplay(seq uint64) {
 // that was on the correctly speculated path.
 func (t *TSH) OnFault(seq uint64) {
 	t.Stats.Faults++
-	delete(t.status, seq)
+	t.Release(seq)
 }
 
 // Release frees the entry when the instruction commits or is squashed.
-func (t *TSH) Release(seq uint64) { delete(t.status, seq) }
+func (t *TSH) Release(seq uint64) {
+	if s := &t.slots[seq&t.mask]; s.live && s.seq == seq {
+		s.live = false
+		t.count--
+	}
+}
 
 // Pending returns the number of tracked entries (for invariant tests).
-func (t *TSH) Pending() int { return len(t.status) }
+func (t *TSH) Pending() int { return t.count }

@@ -40,57 +40,37 @@ type source struct {
 	producer uint64 // 0 = read the committed register file
 }
 
-// robEntry is one in-flight instruction.
-type robEntry struct {
-	valid bool
-	seq   uint64
-	pc    uint64
-	inst  *isa.Inst
-	state entryState
-
-	srcs      []source
-	flagsFrom uint64 // producer of NZCV this entry reads (0 = committed)
-
-	result      uint64
-	hasResult   bool
-	outFlags    isa.Flags
-	writesFlags bool
+// robZero holds every robEntry scalar that resetFor returns to its zero
+// value (stDispatched is 0, so state qualifies). Grouping them lets slot
+// reuse clear the whole block with one memclr instead of ~35 scattered
+// stores. doneAt/pendingSrcs/state lead so they land in the entry's first
+// cache line next to the probe header.
+type robZero struct {
 	doneAt      uint64 // cycle the result becomes available
+	pendingSrcs int    // renamed sources (incl. flags) still pending
+	state       entryState
+
+	hasResult   bool
+	writesFlags bool
+	inReadyQ    bool // member of Core.readyQ
+	inRiskQ     bool // member of Core.riskQ
 
 	// Branch bookkeeping.
-	isBranch   bool
-	predTaken  bool
-	predTarget uint64
-	rsbPred    bool   // prediction came from the RSB
-	ghrSnap    uint64 // global-history snapshot at prediction time
 	brResolved bool
 	brTaken    bool
-	actualNext uint64
 
 	// Memory bookkeeping.
-	isLoad, isStore bool
-	addr            uint64 // full pointer (key byte included)
-	addrReady       bool
-	memIssued       bool
-	storeData       uint64
-	forwardedFrom   uint64 // store seq that forwarded data (0 = none)
-	falloutForward  bool   // baseline partial-match forward happened
-	assist          bool   // load to an assist (permission-faulting) region
-	memDepSpec      bool   // issued past unresolved older store addresses
-	tagOK           bool
-	prefetched      bool // SpecASan STL rule: prefetch issued while delayed
-
-	// Speculation tracking.
-	lastBranchSeq uint64 // youngest older branch at dispatch (0 = none)
+	addrReady      bool
+	memIssued      bool
+	falloutForward bool // baseline partial-match forward happened
+	assist         bool // load to an assist (permission-faulting) region
+	memDepSpec     bool // issued past unresolved older store addresses
+	prefetched     bool // SpecASan STL rule: prefetch issued while delayed
 
 	// SpecASan.
 	ssaKnown bool
 	ssaSafe  bool
 	replayed bool
-
-	// STT taint: seq of the youngest speculative-load root this value
-	// depends on (0 = untainted).
-	taintRoot uint64
 
 	// Leak-oracle secret taint.
 	secret bool
@@ -99,22 +79,86 @@ type robEntry struct {
 	fault      bool
 	faultIsTag bool
 
-	// Metrics.
-	policyDelayed bool   // delayed >= 1 cycle by the active mitigation
-	issuedAt      uint64 // cycle the entry left the issue stage (obs metrics)
-	unsafeSince   uint64 // cycle the SpecASan unsafe delay began (0 = not delayed)
+	policyDelayed bool // delayed >= 1 cycle by the active mitigation
+	tookFlags     bool // this entry claimed the flags rename slot
+
+	outFlags isa.Flags
+
+	flagsFrom     uint64 // producer of NZCV this entry reads (0 = committed)
+	result        uint64
+	actualNext    uint64
+	addr          uint64 // full pointer (key byte included)
+	storeData     uint64
+	forwardedFrom uint64 // store seq that forwarded data (0 = none)
+	lastBranchSeq uint64 // youngest older branch at dispatch (0 = none)
+	// STT taint: seq of the youngest speculative-load root this value
+	// depends on (0 = untainted).
+	taintRoot   uint64
+	issuedAt    uint64 // cycle the entry left the issue stage (obs metrics)
+	unsafeSince uint64 // cycle the SpecASan unsafe delay began (0 = not delayed)
+	prevFlags   uint64 // RAT flags producer displaced (when tookFlags)
+}
+
+// robEntry is one in-flight instruction. Field order is deliberate: the
+// struct spans multiple cache lines, and every stage begins by probing
+// valid/seq/state/doneAt through entry(), so those sit together at the top;
+// the big rename backing arrays (srcsBuf/prevProd) go at the bottom where
+// the steady state rarely reads them.
+type robEntry struct {
+	valid    bool
+	isBranch bool
+	isLoad   bool
+	isStore  bool
+	tagOK    bool
+	seq      uint64
+	inst     *isa.Inst
+	pc       uint64
+
+	robZero
+
+	srcs []source
+
+	// Branch prediction state carried over from fetch.
+	predTaken  bool
+	rsbPred    bool   // prediction came from the RSB
+	predTarget uint64
+	ghrSnap    uint64 // global-history snapshot at prediction time
 
 	// O(1) rename/wakeup bookkeeping. srcsBuf backs srcs so steady-state
 	// dispatch allocates nothing; consumers keeps its backing array across
 	// slot reuse for the same reason.
 	srcsBuf     [4]source
 	consumers   []uint64  // dispatched dependents awaiting this result
-	pendingSrcs int       // renamed sources (incl. flags) still pending
-	inReadyQ    bool      // member of Core.readyQ
-	inRiskQ     bool      // member of Core.riskQ
+	falloutFwds []uint64  // loads this store fallout-forwarded to (stores only)
 	prevProd    [2]uint64 // RAT values displaced by this entry's dsts
-	prevFlags   uint64    // RAT flags producer displaced (when tookFlags)
-	tookFlags   bool      // this entry claimed the flags rename slot
+}
+
+// resetFor reinitialises a ROB slot for a newly dispatched instruction.
+// `*e = robEntry{...}` would duffcopy the whole ~370-byte entry per
+// dispatch (it dominated the profile), so the zero-returning scalars clear
+// as one robZero memclr and only the genuinely non-zero fields are stored.
+// The backing arrays survive (consumers/falloutFwds/srcsBuf keep their
+// storage), and srcsBuf/prevProd contents need no clearing — every read is
+// bounded by the lengths/claims set during this entry's own rename.
+// stDispatched is 0, so the memclr also sets the state.
+func (e *robEntry) resetFor(seq uint64, fi *fetchedInst) {
+	in := fi.inst
+	e.robZero = robZero{}
+	e.valid = true
+	e.seq = seq
+	e.pc = fi.pc
+	e.inst = in
+	e.srcs = e.srcsBuf[:0]
+	e.isBranch = in.IsBranch()
+	e.predTaken = fi.predTaken
+	e.predTarget = fi.predTarget
+	e.rsbPred = fi.rsbPred
+	e.ghrSnap = fi.ghrSnap
+	e.isLoad = in.IsLoad()
+	e.isStore = in.IsStore()
+	e.tagOK = true
+	e.consumers = e.consumers[:0]
+	e.falloutFwds = e.falloutFwds[:0]
 }
 
 // candidateEvent is a potential leak recorded at execute, promoted to a real
@@ -154,8 +198,10 @@ type Core struct {
 	fetchStallTo   uint64 // i-cache miss / redirect penalty
 	fetchBlockedBy uint64 // unresolved branch seq stalling fetch (CFI / no-prediction)
 	lastFetchLine  uint64 // line of the previous I-fetch (one access per line)
-	fetchQ         []fetchedInst
-	fqHead         int      // consumed prefix of fetchQ (compacted each fetch)
+	fetchQ         []fetchedInst // power-of-two ring, indexed via fqMask
+	fqHead         int           // ring index of the oldest undispatched entry
+	fqCount        int           // live entries in the ring
+	fqMask         int
 	shadowStack    []uint64 // SpecCFI speculative shadow stack (fetch-maintained)
 
 	// Back-end resources.
@@ -240,6 +286,8 @@ type Core struct {
 	readyQ     []uint64 // stDispatched entries with all operands available
 	readyDirty bool     // readyQ needs re-sorting before issue
 	wakeQ      []wakeEvent
+	wakeNext   []uint64 // wake batch all due at wakeNextAt (bypasses the heap)
+	wakeNextAt uint64
 
 	branchQ  []uint64 // in-flight unresolved branches, ascending
 	storeQ   []uint64 // in-flight stores, ascending
@@ -250,6 +298,28 @@ type Core struct {
 	unresolvedStores  int    // in-flight stores with !addrReady
 	tagWritesInFlight int    // in-flight STG/ST2G
 	incompleteFrom    uint64 // no incomplete entry older than this (lazy)
+
+	// robMask/robCap: the rob slice is sized to the next power of two above
+	// the configured window so seq -> slot is a mask instead of a modulo;
+	// robCap is the architectural capacity the dispatch stage enforces.
+	robMask uint64
+	robCap  int
+
+	// Hot-path counter handles: lazily bound pointers into Stats so the
+	// per-event cost is a nil check plus an increment instead of a
+	// string-keyed map operation. Bound on first increment, which preserves
+	// Stats' first-use key ordering and which-keys-exist semantics exactly.
+	nCommits, nRestricted, nDispatched, nDispatchStall, nCFIStall *uint64
+	nLoads, nStoresExec, nStoresCommitted, nBrCorrect, nBrMispred *uint64
+	nSquashes, nSquashedInsts                                     *uint64
+}
+
+// bump increments a lazily-bound counter handle.
+func bump(h **uint64, s *stats.Set, key string) {
+	if *h == nil {
+		*h = s.Counter(key)
+	}
+	**h++
 }
 
 type fetchedInst struct {
@@ -276,7 +346,8 @@ func NewCore(id int, cfg *core.Config, mit core.Mitigation, prog *asm.Program,
 		hier:    hier,
 		img:     img,
 		oracle:  oracle,
-		rob:     make([]robEntry, cfg.ROBEntries),
+		rob:     make([]robEntry, pow2ceil(cfg.ROBEntries)),
+		robCap:  cfg.ROBEntries,
 		nextSeq: 1,
 		headSeq: 1,
 		fetchPC: prog.Entry,
@@ -294,11 +365,19 @@ func NewCore(id int, cfg *core.Config, mit core.Mitigation, prog *asm.Program,
 		fenceOn:      mit.FencesSpeculativeLoads(),
 		selectiveDly: cfg.SelectiveDelay,
 	}
+	c.robMask = uint64(len(c.rob) - 1)
 	// Pre-size the incremental queues and the fetch buffer so the steady
-	// state never allocates.
-	c.fetchQ = make([]fetchedInst, 0, 3*cfg.FetchWidth)
+	// state never allocates. The fetch ring needs 3*FetchWidth-1 slots
+	// (see fqPush), rounded up to a power of two for mask indexing.
+	fqCap := 1
+	for fqCap < 3*cfg.FetchWidth {
+		fqCap <<= 1
+	}
+	c.fetchQ = make([]fetchedInst, fqCap)
+	c.fqMask = fqCap - 1
 	c.readyQ = make([]uint64, 0, cfg.ROBEntries)
 	c.wakeQ = make([]wakeEvent, 0, 2*cfg.ROBEntries)
+	c.wakeNext = make([]uint64, 0, cfg.ROBEntries)
 	c.branchQ = make([]uint64, 0, cfg.ROBEntries)
 	c.storeQ = make([]uint64, 0, cfg.SQEntries)
 	c.loadQ = make([]uint64, 0, cfg.LQEntries)
@@ -338,7 +417,7 @@ func (c *Core) entry(seq uint64) *robEntry {
 	if seq < c.headSeq || seq >= c.nextSeq {
 		return nil
 	}
-	e := &c.rob[seq%uint64(len(c.rob))]
+	e := &c.rob[seq&c.robMask]
 	if !e.valid || e.seq != seq {
 		return nil
 	}
@@ -377,7 +456,7 @@ func (c *Core) olderIncomplete(seq uint64) bool {
 		c.incompleteFrom = c.headSeq
 	}
 	for c.incompleteFrom < c.nextSeq {
-		o := &c.rob[c.incompleteFrom%uint64(len(c.rob))]
+		o := &c.rob[c.incompleteFrom&c.robMask]
 		if o.valid && o.seq == c.incompleteFrom && (o.state != stDone || o.doneAt > c.cycle) {
 			break
 		}
@@ -423,7 +502,7 @@ func (c *Core) memDepWindowOpen(seq uint64) bool {
 		if s >= seq {
 			break
 		}
-		if !c.rob[s%uint64(len(c.rob))].addrReady {
+		if !c.rob[s&c.robMask].addrReady {
 			return true
 		}
 	}

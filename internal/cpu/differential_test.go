@@ -8,6 +8,7 @@ package cpu
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"strings"
 	"testing"
 
@@ -73,6 +74,11 @@ func fuzzDiffGolden(t *testing.T, mit core.Mitigation, src string) {
 	if err != nil {
 		t.Skip("machine rejects program")
 	}
+	// CI runs the fuzz smoke in both time-advance modes (skipping is meant
+	// to be invisible, so the divergence hunt must cover both).
+	if os.Getenv("SPECASAN_NO_SKIP_IDLE") != "" {
+		m.SkipIdle = false
+	}
 	mres := m.Run(fuzzDiffBudget)
 	if mres.TimedOut || mres.Err != nil {
 		// A wedge the watchdog catches is a real bug, but it reproduces far
@@ -130,6 +136,25 @@ _start:
     .org 0x40000
 buf:
     .space 64
+`)
+	// Page-boundary MTE case: buf places its first granule in the last 16
+	// bytes of a 4 KiB page, so the ST2G straddles the page boundary and the
+	// second access lands on the next page's tag sidecar.
+	f.Add(`
+_start:
+    ADR X10, buf
+    IRG X10, X10
+    ST2G X10, [X10]
+    STR X3, [X10]
+    LDR X4, [X10]
+    ADD X11, X10, #16
+    STR X5, [X11]
+    LDR X6, [X11]
+    LDG X7, [X11]
+    SVC #0
+    .org 0x40ff0
+buf:
+    .space 32
 `)
 	f.Fuzz(func(t *testing.T, src string) {
 		if len(src) > 1<<16 || strings.Count(src, "\n") > 2048 {

@@ -90,7 +90,7 @@ func (c *Core) olderTagWriteCovering(seq uint64, addr uint64, size int) bool {
 		if s >= seq {
 			break
 		}
-		o := &c.rob[s%uint64(len(c.rob))]
+		o := &c.rob[s&c.robMask]
 		if o.inst.Op != isa.STG && o.inst.Op != isa.ST2G {
 			continue
 		}
@@ -136,7 +136,7 @@ func (c *Core) executeStore(e *robEntry) {
 		c.markRisk(e)
 	}
 	c.setDone(e, c.cycle+1)
-	c.Stats.Inc("stores_executed")
+	bump(&c.nStoresExec, c.Stats, "stores_executed")
 	if c.TraceFn != nil {
 		c.trace("cycle %d: store seq=%d pc=%#x addr=%#x data=%#x tagOK=%v",
 			c.cycle, e.seq, e.pc, mte.Strip(e.addr), e.storeData, e.tagOK)
@@ -204,7 +204,7 @@ func (c *Core) scanStoreQueue(e *robEntry) (dec fwdDecision, st *robEntry) {
 		if s >= e.seq {
 			continue
 		}
-		o := &c.rob[s%uint64(len(c.rob))]
+		o := &c.rob[s&c.robMask]
 		if o.inst.Op == isa.SWPAL || o.inst.Op == isa.STG || o.inst.Op == isa.ST2G {
 			continue
 		}
@@ -258,7 +258,7 @@ func (c *Core) olderBarrierInFlight(seq uint64) bool {
 		if s >= seq {
 			break
 		}
-		o := &c.rob[s%uint64(len(c.rob))]
+		o := &c.rob[s&c.robMask]
 		if o.state != stDone || o.doneAt > c.cycle {
 			return true
 		}
@@ -364,6 +364,9 @@ func (c *Core) executeLoad(e *robEntry) {
 			e.result, e.hasResult = st.storeData, true
 			e.falloutForward = true
 			e.forwardedFrom = st.seq
+			// Register on the store so its commit-time WTF check visits
+			// only its own forwards instead of sweeping the load queue.
+			st.falloutFwds = append(st.falloutFwds, e.seq)
 			c.markRisk(e)
 			e.tagOK = true
 			if st.secret || (c.oracle.HasSecrets() && c.oracle.IsSecret(mte.Strip(st.addr), 8)) {
@@ -415,7 +418,7 @@ func (c *Core) executeLoad(e *robEntry) {
 		// the response arrives, and data cannot be released until then.
 		e.doneAt += lateTagCheckPenalty
 	}
-	c.Stats.Inc("loads_issued")
+	bump(&c.nLoads, c.Stats, "loads_issued")
 	if c.TraceFn != nil {
 		c.trace("cycle %d: load seq=%d pc=%#x addr=%#x key=%d lock=%d tagOK=%v spec=%v served=%s ready=%d blocked=%v",
 			c.cycle, e.seq, e.pc, mte.Strip(e.addr), mte.Key(e.addr), res.Lock,
@@ -450,7 +453,7 @@ func (c *Core) checkOrderViolation(st *robEntry) bool {
 		if s <= st.seq {
 			continue
 		}
-		e := &c.rob[s%uint64(len(c.rob))]
+		e := &c.rob[s&c.robMask]
 		if !e.addrReady {
 			continue
 		}
@@ -478,7 +481,7 @@ func (c *Core) advanceLSQ() {
 	// complete at execute), so walking loadQ visits the same entries the old
 	// full-window scan did, in the same ascending order.
 	for _, s := range c.loadQ {
-		e := &c.rob[s%uint64(len(c.rob))]
+		e := &c.rob[s&c.robMask]
 		switch e.state {
 		case stWaitMem:
 			if e.doneAt <= c.cycle {

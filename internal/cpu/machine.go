@@ -25,20 +25,28 @@ func (c *Core) commitStore(e *robEntry) {
 			Core: c.ID, Ptr: e.addr, Size: in.MemBytes(), Write: true, Now: c.cycle,
 		})
 		c.img.WriteUint(mte.Strip(e.addr), e.storeData, in.MemBytes())
-		c.Stats.Inc("stores_committed")
+		bump(&c.nStoresCommitted, c.Stats, "stores_committed")
 		// WTF closing edge: younger loads that took the partial-match
-		// forward from this store re-execute via squash. loadQ is ascending,
-		// so the first match is the oldest violator, as before.
-		for _, s := range c.loadQ {
+		// forward from this store re-execute via squash. The store's
+		// fallout-consumer list (filled at forward time) makes this
+		// O(forwards); registrations whose load was squashed or whose slot
+		// was reused no longer satisfy the predicate and drop out, and the
+		// oldest live violator wins, exactly as the old loadQ sweep did.
+		var oldest *robEntry
+		for _, s := range e.falloutFwds {
 			if s <= e.seq {
 				continue
 			}
-			l := &c.rob[s%uint64(len(c.rob))]
-			if l.falloutForward && l.forwardedFrom == e.seq {
-				c.Stats.Inc("fallout_replays")
-				c.squashAfter(l.seq-1, l.pc)
-				return
+			l := c.entry(s)
+			if l != nil && l.falloutForward && l.forwardedFrom == e.seq &&
+				(oldest == nil || l.seq < oldest.seq) {
+				oldest = l
 			}
+		}
+		if oldest != nil {
+			c.Stats.Inc("fallout_replays")
+			c.squashAfter(oldest.seq-1, oldest.pc)
+			return
 		}
 	case isa.STG:
 		c.img.Tags.SetLock(e.addr, mte.Key(e.storeData))
@@ -76,7 +84,17 @@ type Machine struct {
 	// NewMachine installs one with default thresholds.
 	Watchdog *Watchdog
 
+	// SkipIdle enables event-driven idle-cycle skipping (see skip.go). It is
+	// exactness-preserving — cycle counts, stats, traces and architectural
+	// state match a non-skipping run — and on by default; runs that must see
+	// every cycle (a PerCycle hook, i.e. chaos injection) bypass it
+	// automatically.
+	SkipIdle bool
+
 	cycle uint64
+	// skipLimit caps skips at Run's cycle budget so timed-out runs end on
+	// the same cycle either way. Zero means no budget (bare Step callers).
+	skipLimit uint64
 }
 
 // NewMachine builds a machine running prog on every core. For multi-core
@@ -114,7 +132,7 @@ func NewMachine(cfg core.Config, mit core.Mitigation, prog *asm.Program) (*Machi
 		}
 	}
 
-	m := &Machine{Cfg: cfg, Mit: mit, Img: img, Hier: hier, Oracle: oracle}
+	m := &Machine{Cfg: cfg, Mit: mit, Img: img, Hier: hier, Oracle: oracle, SkipIdle: true}
 	for i := 0; i < cfg.Cores; i++ {
 		c := NewCore(i, &m.Cfg, mit, prog, hier, img, oracle, TagSeedBase+uint64(i))
 		pred, err := branch.New(branch.Config{
@@ -165,7 +183,9 @@ func (m *Machine) Done() bool {
 	return true
 }
 
-// Step advances the whole machine by one cycle.
+// Step advances the whole machine by one cycle, then — with SkipIdle on and
+// no per-cycle hook — fast-forwards over cycles in which no core can make
+// progress.
 func (m *Machine) Step() {
 	m.cycle++
 	for _, c := range m.Cores {
@@ -173,6 +193,10 @@ func (m *Machine) Step() {
 	}
 	if m.PerCycle != nil {
 		m.PerCycle(m.cycle)
+		return // the hook must observe every cycle: no skipping
+	}
+	if m.SkipIdle {
+		m.skipIdle()
 	}
 }
 
@@ -221,6 +245,7 @@ func (r *RunResult) TimedOutCores() []int {
 // progress) or breaks a pipeline invariant, reporting it in RunResult.Err.
 func (m *Machine) Run(maxCycles uint64) *RunResult {
 	var simErr *SimError
+	m.skipLimit = maxCycles
 	for m.cycle < maxCycles && !m.Done() {
 		m.Step()
 		if m.Watchdog != nil {

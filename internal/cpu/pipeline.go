@@ -34,7 +34,7 @@ func (c *Core) Tick() {
 func (c *Core) wakeup() {
 	for len(c.wakeQ) > 0 && c.wakeQ[0].at <= c.cycle {
 		ev := wakePop(&c.wakeQ)
-		e := &c.rob[ev.seq%uint64(len(c.rob))]
+		e := &c.rob[ev.seq&c.robMask]
 		// Deliberately no e.valid check: a producer that committed this
 		// cycle (commit runs before wakeup) still owes its consumers their
 		// wake; they will read the committed register file.
@@ -42,6 +42,20 @@ func (c *Core) wakeup() {
 			continue
 		}
 		c.fireConsumers(e)
+	}
+	// The flat single-cycle batch (see setDone). Within a cycle, firing
+	// order across distinct producers is immaterial: wakes only decrement
+	// pendingSrcs and insert into the (sorted-before-issue) ready queue,
+	// both order-independent, so draining this after the heap is exact.
+	if len(c.wakeNext) > 0 && c.wakeNextAt <= c.cycle {
+		for _, seq := range c.wakeNext {
+			e := &c.rob[seq&c.robMask]
+			if e.seq != seq || e.state != stDone || e.doneAt > c.cycle {
+				continue
+			}
+			c.fireConsumers(e)
+		}
+		c.wakeNext = c.wakeNext[:0]
 	}
 }
 
@@ -85,24 +99,35 @@ func (c *Core) setDone(e *robEntry, at uint64) {
 	} else {
 		// Always scheduled (even with no consumers yet): a dependent may
 		// dispatch between now and doneAt and register on the list.
-		wakePush(&c.wakeQ, wakeEvent{at: at, seq: e.seq})
+		// Results sharing one due cycle (the 1-cycle ALU latency dominates)
+		// batch into a flat list; mixed due cycles take the heap.
+		if len(c.wakeNext) == 0 {
+			c.wakeNextAt = at
+			c.wakeNext = append(c.wakeNext, e.seq)
+		} else if c.wakeNextAt == at {
+			c.wakeNext = append(c.wakeNext, e.seq)
+		} else {
+			wakePush(&c.wakeQ, wakeEvent{at: at, seq: e.seq})
+		}
 	}
 }
 
 // ---------------------------------------------------------------- fetch --
 
 // fqLen is the number of fetched-but-not-dispatched instructions.
-func (c *Core) fqLen() int { return len(c.fetchQ) - c.fqHead }
+func (c *Core) fqLen() int { return c.fqCount }
+
+// fqNext returns the fetch-ring slot the next fqCount++ will publish.
+// Capacity covers the worst case (the fullness check admits a group at
+// 2*FetchWidth-1 entries, which can grow to 3*FetchWidth-1), so the slot
+// is never live: fetch builds the fetched instruction directly in place
+// and publishes it by bumping fqCount.
+func (c *Core) fqNext() *fetchedInst {
+	return &c.fetchQ[(c.fqHead+c.fqCount)&c.fqMask]
+}
 
 func (c *Core) fetch() {
-	// Compact the consumed prefix so appends reuse the fixed backing array
-	// (dispatch pops by advancing fqHead instead of re-slicing).
-	if c.fqHead > 0 {
-		n := copy(c.fetchQ, c.fetchQ[c.fqHead:])
-		c.fetchQ = c.fetchQ[:n]
-		c.fqHead = 0
-	}
-	if len(c.fetchQ) >= c.cfg.FetchWidth*2 {
+	if c.fqCount >= c.cfg.FetchWidth*2 {
 		return
 	}
 	if c.cycle < c.fetchStallTo {
@@ -110,7 +135,7 @@ func (c *Core) fetch() {
 	}
 	if c.fetchBlockedBy != 0 {
 		if c.entry(c.fetchBlockedBy) != nil {
-			c.Stats.Inc("fetch_cfi_stall_cycles")
+			bump(&c.nCFIStall, c.Stats, "fetch_cfi_stall_cycles")
 			return // still waiting for the branch to resolve
 		}
 		c.fetchBlockedBy = 0
@@ -129,7 +154,8 @@ func (c *Core) fetch() {
 			}
 			c.lastFetchLine = line
 		}
-		fi := fetchedInst{pc: c.fetchPC, inst: in}
+		fi := c.fqNext()
+		*fi = fetchedInst{pc: c.fetchPC, inst: in}
 		next := c.fetchPC + isa.InstBytes
 
 		switch in.Op {
@@ -158,7 +184,7 @@ func (c *Core) fetch() {
 			if !ok {
 				// No prediction: stall fetch until the branch resolves.
 				fi.stallOnResolve = true
-				c.fetchQ = append(c.fetchQ, fi)
+				c.fqCount++
 				c.obsRecord(0, fi.pc, obs.EvFetch, 0)
 				c.fetchBlockedBy = ^uint64(0) // rebound to the seq at dispatch
 				return
@@ -169,7 +195,7 @@ func (c *Core) fetch() {
 				// stall until the branch resolves.
 				fi.predTaken = false
 				fi.stallOnResolve = true
-				c.fetchQ = append(c.fetchQ, fi)
+				c.fqCount++
 				c.obsRecord(0, fi.pc, obs.EvFetch, 0)
 				c.fetchBlockedBy = ^uint64(0)
 				c.Stats.Inc("cfi_blocked_indirect")
@@ -180,7 +206,7 @@ func (c *Core) fetch() {
 			fi.rsbPred = ok
 			if !ok {
 				fi.stallOnResolve = true
-				c.fetchQ = append(c.fetchQ, fi)
+				c.fqCount++
 				c.obsRecord(0, fi.pc, obs.EvFetch, 0)
 				c.fetchBlockedBy = ^uint64(0)
 				return
@@ -193,7 +219,7 @@ func (c *Core) fetch() {
 				if !c.shadowTopMatches(t) {
 					fi.predTaken = false
 					fi.stallOnResolve = true
-					c.fetchQ = append(c.fetchQ, fi)
+					c.fqCount++
 					c.obsRecord(0, fi.pc, obs.EvFetch, 0)
 					c.fetchBlockedBy = ^uint64(0)
 					c.Stats.Inc("cfi_blocked_return")
@@ -203,7 +229,7 @@ func (c *Core) fetch() {
 			}
 		}
 
-		c.fetchQ = append(c.fetchQ, fi)
+		c.fqCount++
 		c.obsRecord(0, fi.pc, obs.EvFetch, 0)
 		if in.IsBranch() {
 			// The BHB is updated speculatively at fetch with the predicted
@@ -247,11 +273,11 @@ func (c *Core) shadowTopMatches(t uint64) bool {
 
 func (c *Core) dispatch() {
 	for n := 0; n < c.cfg.IssueWidth && c.fqLen() > 0; n++ {
-		if c.robCount() >= len(c.rob) || c.iqCount >= c.cfg.IQEntries {
-			c.Stats.Inc("dispatch_stall_cycles")
+		if c.robCount() >= c.robCap || c.iqCount >= c.cfg.IQEntries {
+			bump(&c.nDispatchStall, c.Stats, "dispatch_stall_cycles")
 			return
 		}
-		fi := c.fetchQ[c.fqHead]
+		fi := &c.fetchQ[c.fqHead]
 		in := fi.inst
 		if in.IsLoad() && c.lqCount >= c.cfg.LQEntries {
 			return
@@ -259,21 +285,13 @@ func (c *Core) dispatch() {
 		if in.IsStore() && c.sqCount >= c.cfg.SQEntries {
 			return
 		}
-		c.fqHead++
+		c.fqHead = (c.fqHead + 1) & c.fqMask
+		c.fqCount--
 
 		seq := c.nextSeq
 		c.nextSeq++
-		e := &c.rob[seq%uint64(len(c.rob))]
-		consumers := e.consumers[:0] // keep the backing array across reuse
-		*e = robEntry{
-			valid: true, seq: seq, pc: fi.pc, inst: in, state: stDispatched,
-			isBranch: in.IsBranch(), predTaken: fi.predTaken,
-			predTarget: fi.predTarget, rsbPred: fi.rsbPred, ghrSnap: fi.ghrSnap,
-			isLoad: in.IsLoad(), isStore: in.IsStore(),
-			tagOK: true,
-		}
-		e.consumers = consumers
-		e.srcs = e.srcsBuf[:0]
+		e := &c.rob[seq&c.robMask]
+		e.resetFor(seq, fi)
 
 		// Rename sources through the map table and register this entry on
 		// the wakeup list of every producer whose result is still pending.
@@ -296,14 +314,11 @@ func (c *Core) dispatch() {
 				e.pendingSrcs++
 			}
 		}
-		// Claim the map table for this entry's destinations, remembering the
-		// displaced producers for squash restore.
-		var dstRegs [2]isa.Reg
-		for i, d := range in.Dsts(dstRegs[:0]) {
-			if d == isa.XZR {
-				continue // writes to XZR are discarded, never renamed
-			}
-			e.prevProd[i] = c.rat[d]
+		// Claim the map table for this entry's destination, remembering the
+		// displaced producer for squash restore. (DstReg never yields XZR —
+		// writes there are discarded, never renamed.)
+		if d, ok := in.DstReg(); ok {
+			e.prevProd[0] = c.rat[d]
 			c.rat[d] = seq
 		}
 		if in.WritesFlags() {
@@ -352,7 +367,7 @@ func (c *Core) dispatch() {
 		if fi.stallOnResolve {
 			c.fetchBlockedBy = seq // fetch resumes when this branch resolves
 		}
-		c.Stats.Inc("dispatched")
+		bump(&c.nDispatched, c.Stats, "dispatched")
 	}
 }
 
@@ -364,7 +379,7 @@ func (c *Core) youngestProducerScan(r isa.Reg, seq uint64) uint64 {
 	}
 	var dsts [2]isa.Reg
 	for s := seq - 1; s >= c.headSeq && s > 0; s-- {
-		o := &c.rob[s%uint64(len(c.rob))]
+		o := &c.rob[s&c.robMask]
 		if o.valid && o.seq == s {
 			for _, d := range o.inst.Dsts(dsts[:0]) {
 				if d == r {
@@ -381,7 +396,7 @@ func (c *Core) youngestProducerScan(r isa.Reg, seq uint64) uint64 {
 
 func (c *Core) youngestFlagsProducerScan(seq uint64) uint64 {
 	for s := seq - 1; s >= c.headSeq && s > 0; s-- {
-		o := &c.rob[s%uint64(len(c.rob))]
+		o := &c.rob[s&c.robMask]
 		if o.valid && o.seq == s && o.inst.WritesFlags() {
 			return o.seq
 		}
@@ -451,25 +466,34 @@ func (c *Core) issue() {
 		insertionSortU64(c.readyQ)
 		c.readyDirty = false
 	}
+	// One pass with a write index: kept entries compact toward the front,
+	// issued and stale ones drop out, and the unscanned tail is moved down
+	// at the end. This replaces the old splice-per-removal (an O(n) copy
+	// for every issued instruction). A squash inside startExecution only
+	// seqRemoves younger entries, which sort after index i, so both
+	// cursors stay valid.
 	issued := 0
-	for i := 0; i < len(c.readyQ) && issued < c.cfg.IssueWidth; {
-		e := c.entry(c.readyQ[i])
+	i, w := 0, 0
+	for ; i < len(c.readyQ) && issued < c.cfg.IssueWidth; i++ {
+		seq := c.readyQ[i]
+		e := c.entry(seq)
 		if e == nil || e.state != stDispatched {
-			// Stale (issued or squashed out from under us): splice out.
+			// Stale (issued or squashed out from under us): drop.
 			if e != nil {
 				e.inReadyQ = false
 			}
-			c.readyQ = append(c.readyQ[:i], c.readyQ[i+1:]...)
 			continue
 		}
 		if blocked, key := c.policyBlocksIssue(e); blocked {
 			e.policyDelayed = true
 			c.Stats.Inc(key)
-			i++
+			c.readyQ[w] = seq
+			w++
 			continue
 		}
 		if !c.unitAvailable(e) {
-			i++
+			c.readyQ[w] = seq
+			w++
 			continue
 		}
 		if c.Rec != nil {
@@ -481,13 +505,15 @@ func (c *Core) issue() {
 		issued++
 		if e.state == stDispatched {
 			// Memory op could not proceed this cycle (port/LFB); retry.
-			// A squash inside startExecution only removes younger entries,
-			// which sort after index i, so i stays valid.
-			i++
+			c.readyQ[w] = seq
+			w++
 			continue
 		}
 		e.inReadyQ = false
-		c.readyQ = append(c.readyQ[:i], c.readyQ[i+1:]...)
+	}
+	if w != i {
+		n := copy(c.readyQ[w:], c.readyQ[i:])
+		c.readyQ = c.readyQ[:w+n]
 	}
 }
 
@@ -733,13 +759,13 @@ func (c *Core) resolveBranch(e *robEntry) (mispredicted bool) {
 		}
 	}
 	if correct {
-		c.Stats.Inc("branches_correct")
+		bump(&c.nBrCorrect, c.Stats, "branches_correct")
 		// The link-register result becomes visible now (doneAt <= cycle);
 		// wake dependents exactly when the old polling would have seen it.
 		c.fireConsumers(e)
 		return false
 	}
-	c.Stats.Inc("branches_mispredicted")
+	bump(&c.nBrMispred, c.Stats, "branches_mispredicted")
 	c.Stats.Inc(mispredKey(in.Op))
 	// Every registered consumer is younger and about to be squashed; drop
 	// them so the seqs cannot alias to re-dispatched instructions.
@@ -779,20 +805,17 @@ func mispredKey(op isa.Op) string {
 // is itself a squashed producer is older than the current entry and gets
 // unwound when the loop reaches it.
 func (c *Core) restoreRAT(boundary uint64) {
-	var dsts [2]isa.Reg
 	for s := c.nextSeq - 1; s > boundary; s-- {
-		e := &c.rob[s%uint64(len(c.rob))]
+		e := &c.rob[s&c.robMask]
 		if !e.valid || e.seq != s {
 			continue
 		}
-		for i, d := range e.inst.Dsts(dsts[:0]) {
-			if c.rat[d] == s {
-				v := e.prevProd[i]
-				if v != 0 && v <= boundary && c.entry(v) == nil {
-					v = 0 // displaced producer committed since dispatch
-				}
-				c.rat[d] = v
+		if d, ok := e.inst.DstReg(); ok && c.rat[d] == s {
+			v := e.prevProd[0]
+			if v != 0 && v <= boundary && c.entry(v) == nil {
+				v = 0 // displaced producer committed since dispatch
 			}
+			c.rat[d] = v
 		}
 		if e.tookFlags && c.ratFlags == s {
 			v := e.prevFlags
@@ -810,7 +833,7 @@ func (c *Core) squashAfter(seq uint64, target uint64) {
 	c.restoreRAT(seq)
 	var depth uint64
 	for s := seq + 1; s < c.nextSeq; s++ {
-		e := &c.rob[s%uint64(len(c.rob))]
+		e := &c.rob[s&c.robMask]
 		if !e.valid {
 			continue
 		}
@@ -824,15 +847,14 @@ func (c *Core) squashAfter(seq uint64, target uint64) {
 	if c.incompleteFrom > c.nextSeq {
 		c.incompleteFrom = c.nextSeq
 	}
-	c.fetchQ = c.fetchQ[:0]
-	c.fqHead = 0
+	c.fqHead, c.fqCount = 0, 0
 	c.fetchPC = target
 	c.fetchStallTo = c.cycle + 2 // redirect penalty
 	c.fetchBlockedBy = 0
 	if c.cfiOn {
 		c.shadowStack = c.shadowStack[:0]
 	}
-	c.Stats.Inc("squashes")
+	bump(&c.nSquashes, c.Stats, "squashes")
 	if c.TraceFn != nil {
 		c.trace("cycle %d: squash younger than seq=%d, refetch %#x", c.cycle, seq, target)
 	}
@@ -911,15 +933,12 @@ func (c *Core) releaseEntry(e *robEntry, squashed bool) {
 			c.hier.DropGhost(c.ID, e.addr)
 		}
 		c.promoteCandidates(e.seq)
-		c.Stats.Inc("squashed_insts")
+		bump(&c.nSquashedInsts, c.Stats, "squashed_insts")
 	} else {
 		// Commit: this entry's map-table claims revert to the committed
 		// register file.
-		var dsts [2]isa.Reg
-		for _, d := range e.inst.Dsts(dsts[:0]) {
-			if c.rat[d] == e.seq {
-				c.rat[d] = 0
-			}
+		if d, ok := e.inst.DstReg(); ok && c.rat[d] == e.seq {
+			c.rat[d] = 0
 		}
 		if e.tookFlags && c.ratFlags == e.seq {
 			c.ratFlags = 0
@@ -938,7 +957,7 @@ func (c *Core) commit() {
 		if c.robCount() == 0 {
 			return
 		}
-		e := &c.rob[c.headSeq%uint64(len(c.rob))]
+		e := &c.rob[c.headSeq&c.robMask]
 		if !e.valid {
 			c.headSeq++
 			continue
@@ -969,9 +988,9 @@ func (c *Core) commit() {
 		c.releaseEntry(e, false)
 		c.headSeq++
 		c.lastCommitCycle = c.cycle
-		c.Stats.Inc("commits")
+		bump(&c.nCommits, c.Stats, "commits")
 		if e.policyDelayed {
-			c.Stats.Inc("restricted_commits")
+			bump(&c.nRestricted, c.Stats, "restricted_commits")
 		}
 		if c.Halted || c.Faulted {
 			return
@@ -983,8 +1002,7 @@ func (c *Core) commitEntry(e *robEntry) {
 	in := e.inst
 	// Write back register results and flags.
 	if e.hasResult {
-		var dsts [2]isa.Reg
-		for _, d := range in.Dsts(dsts[:0]) {
+		if d, ok := in.DstReg(); ok {
 			c.cRegs[d] = e.result
 			c.cSecret[d] = e.secret
 		}
@@ -1051,7 +1069,7 @@ func (c *Core) raiseFault(e *robEntry) {
 	c.promoteCandidates(e.seq)
 	c.restoreRAT(e.seq - 1)
 	for s := e.seq; s < c.nextSeq; s++ {
-		en := &c.rob[s%uint64(len(c.rob))]
+		en := &c.rob[s&c.robMask]
 		if en.valid {
 			c.releaseEntry(en, true)
 		}
@@ -1061,8 +1079,7 @@ func (c *Core) raiseFault(e *robEntry) {
 		c.incompleteFrom = c.nextSeq
 	}
 	if c.FaultHandler != 0 {
-		c.fetchQ = c.fetchQ[:0]
-		c.fqHead = 0
+		c.fqHead, c.fqCount = 0, 0
 		c.fetchPC = c.FaultHandler
 		c.fetchStallTo = c.cycle + 8 // trap latency
 		c.fetchBlockedBy = 0

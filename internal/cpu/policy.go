@@ -69,7 +69,7 @@ func (c *Core) onUnsafeAccess(e *robEntry) {
 	}
 	c.Stats.Inc("unsafe_accesses")
 	for s := e.seq + 1; s < c.nextSeq; s++ {
-		d := &c.rob[s%uint64(len(c.rob))]
+		d := &c.rob[s&c.robMask]
 		if !d.valid {
 			continue
 		}

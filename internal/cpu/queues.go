@@ -94,3 +94,12 @@ func wakePop(h *[]wakeEvent) wakeEvent {
 	*h = q
 	return top
 }
+
+// pow2ceil returns the smallest power of two >= n (minimum 1).
+func pow2ceil(n int) int {
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p
+}

@@ -1,0 +1,145 @@
+package cpu
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"specasan/internal/asm"
+	"specasan/internal/core"
+	"specasan/internal/workloads"
+)
+
+// skipFingerprint runs prog under mit with skipping on or off and flattens
+// everything observable: cycle count, commits, run flags, the full counter
+// set, architectural registers, and program output.
+func skipFingerprint(t *testing.T, prog *asm.Program, mit core.Mitigation, skip bool) string {
+	t.Helper()
+	m, err := NewMachine(core.DefaultConfig(), mit, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SkipIdle = skip
+	res := m.Run(300_000)
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles=%d committed=%d timedOut=%v faulted=%v exit=%d\n",
+		res.Cycles, res.Committed, res.TimedOut, res.Faulted, m.Core(0).ExitCode)
+	fmt.Fprintf(&b, "stats=%s\n", res.Stats)
+	fmt.Fprintf(&b, "regs=%v flags=%v output=%q\n",
+		m.Core(0).cRegs, m.Core(0).cFlags, m.Core(0).Output)
+	return b.String()
+}
+
+// TestSkipIdleExactness drives pipelines through their distinct wait states
+// — DRAM fills, tag-check delays under every mitigation, unresolved-branch
+// fetch stalls, store-queue backpressure — and requires the skipping run to
+// be indistinguishable from the cycle-by-cycle one, timeouts included.
+func TestSkipIdleExactness(t *testing.T) {
+	progs := map[string]string{
+		"dram-stalls": `
+_start:
+    ADR X1, buf
+    MOV X3, #0
+    MOV X4, #16
+loop:
+    LDR X2, [X1]       // cold miss every line: long idle windows
+    ADD X1, X1, #64
+    ADD X3, X3, #1
+    CMP X3, X4
+    B.NE loop
+    DC CIVAC, X1
+    DSB
+    SVC #0
+    .org 0x40000
+buf:
+    .space 2048
+`,
+		"branchy": `
+_start:
+    MOV X3, #0
+    MOV X4, #200
+loop:
+    AND X5, X3, #3
+    CBZ X5, skip1
+    ADD X6, X6, X5
+skip1:
+    ADD X3, X3, #1
+    CMP X3, X4
+    B.NE loop
+    SVC #0
+`,
+		"store-pressure": `
+_start:
+    ADR X1, buf
+    MOV X3, #0
+    MOV X4, #64
+loop:
+    STR X3, [X1]
+    ADD X1, X1, #8
+    ADD X3, X3, #1
+    CMP X3, X4
+    B.NE loop
+    SVC #0
+    .org 0x40000
+buf:
+    .space 1024
+`,
+		"tagged-loads": `
+_start:
+    ADR X1, buf
+    IRG X1, X1
+    STG X1, [X1]
+    STR X1, [X1]
+    LDR X2, [X1]
+    SVC #0
+    .org 0x40000
+buf:
+    .space 64
+`,
+		"timeout": `
+_start:
+    B _start
+`,
+	}
+	mits := []core.Mitigation{core.Unsafe, core.Fence, core.STT,
+		core.GhostMinion, core.SpecCFI, core.SpecASan}
+	for name, src := range progs {
+		prog := asm.MustAssemble(src)
+		for _, mit := range mits {
+			on := skipFingerprint(t, prog, mit, true)
+			off := skipFingerprint(t, prog, mit, false)
+			if on != off {
+				t.Errorf("%s under %v diverges:\n-- skip on --\n%s-- skip off --\n%s",
+					name, mit, on, off)
+			}
+		}
+	}
+}
+
+// TestSkipIdleActuallySkips pins that the optimisation is live: on a
+// memory-bound kernel the machine must cover its cycles in far fewer Step
+// calls than cycles (i.e. the idle windows between DRAM fills are jumped).
+func TestSkipIdleActuallySkips(t *testing.T) {
+	spec := workloads.ByName("505.mcf_r")
+	if spec == nil {
+		t.Fatal("workload 505.mcf_r missing")
+	}
+	prog, err := spec.Build(false, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Cores = spec.Threads
+	m, err := NewMachine(cfg, core.Unsafe, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var steps uint64
+	for !m.Done() && m.Cycle() < 2_000_000 {
+		m.Step()
+		steps++
+	}
+	if m.Cycle() < steps*3/2 {
+		t.Errorf("skip inactive: %d steps covered only %d cycles", steps, m.Cycle())
+	}
+}

@@ -101,20 +101,20 @@ func (c *Core) checkInvariants() (kind, detail string) {
 	if c.nextSeq < c.headSeq {
 		return "rob-invariant", fmt.Sprintf("nextSeq %d behind headSeq %d", c.nextSeq, c.headSeq)
 	}
-	if c.robCount() > len(c.rob) {
-		return "rob-invariant", fmt.Sprintf("%d in flight exceeds %d ROB entries", c.robCount(), len(c.rob))
+	if c.robCount() > c.robCap {
+		return "rob-invariant", fmt.Sprintf("%d in flight exceeds %d ROB entries", c.robCount(), c.robCap)
 	}
 	iq, lq, sq := 0, 0, 0
 	unresolved, tagWrites := 0, 0
 	branches, barriers := 0, 0
 	for s := c.headSeq; s < c.nextSeq; s++ {
-		e := &c.rob[s%uint64(len(c.rob))]
+		e := &c.rob[s&c.robMask]
 		if !e.valid {
 			continue
 		}
 		if e.seq != s {
 			return "rob-invariant", fmt.Sprintf("entry at slot %d holds seq %d, want %d",
-				s%uint64(len(c.rob)), e.seq, s)
+				s&c.robMask, e.seq, s)
 		}
 		if e.state == stDispatched {
 			iq++
@@ -229,7 +229,7 @@ func (c *Core) StallSnapshot() string {
 			fmt.Fprintf(&b, "  ... %d more\n", c.nextSeq-s)
 			break
 		}
-		e := &c.rob[s%uint64(len(c.rob))]
+		e := &c.rob[s&c.robMask]
 		if !e.valid {
 			fmt.Fprintf(&b, "  seq=%-6d <invalid>\n", s)
 			n++

@@ -50,6 +50,10 @@ type Options struct {
 	// construction and before the run — the hook the commands use to attach
 	// an event tracer to a chosen cell.
 	Attach func(bench string, mit core.Mitigation, m *cpu.Machine)
+	// NoSkipIdle disables event-driven idle-cycle skipping (cpu.Machine
+	// SkipIdle). Skipping is exactness-preserving, so this only trades
+	// speed for a cycle-by-cycle walk — useful for A/B determinism checks.
+	NoSkipIdle bool
 }
 
 // DefaultOptions are suitable for the command-line tools.
@@ -89,6 +93,7 @@ func RunBenchmark(spec *workloads.Spec, mit core.Mitigation, opt Options) (*Perf
 	for i := 0; i < spec.Threads; i++ {
 		m.Core(i).SetReg(isa.X0, uint64(i))
 	}
+	m.SkipIdle = !opt.NoSkipIdle
 	var met *obs.Metrics
 	if opt.Metrics != nil {
 		met = obs.NewMetrics(cfg.Cores)

@@ -14,8 +14,15 @@ import (
 	"specasan/internal/workloads"
 )
 
-// PerfSchema versions the BENCH_sim.json layout.
-const PerfSchema = "specasan-bench/perf/v1"
+// PerfSchema versions the BENCH_sim.json layout. v2 adds a `history` array
+// (the cross-PR perf trajectory; a v1 file's single measurement becomes
+// history[0] on upgrade), splits host-loop steps from simulated cycles in
+// the single-core block (they differ under idle-cycle skipping), and pins
+// the sweep measurement to workers=GOMAXPROCS.
+const (
+	PerfSchema   = "specasan-bench/perf/v2"
+	perfSchemaV1 = "specasan-bench/perf/v1"
+)
 
 // PerfBaseline pins the pre-optimisation numbers the current build is
 // compared against: the linear-scan core and serial sweep harness as of the
@@ -40,9 +47,13 @@ func ReferenceBaseline() PerfBaseline {
 // SingleCorePerf is the steady-state Machine.Step measurement: how many host
 // nanoseconds one simulated cycle costs, and whether the hot loop allocates.
 type SingleCorePerf struct {
-	Workload           string  `json:"workload"`
-	Mitigation         string  `json:"mitigation"`
+	Workload   string `json:"workload"`
+	Mitigation string `json:"mitigation"`
+	// Steps counts host Machine.Step calls; Cycles counts simulated cycles
+	// they covered. With idle-cycle skipping one Step can advance many
+	// cycles, so Cycles >= Steps and the per-cycle cost divides by Cycles.
 	Steps              uint64  `json:"steps"`
+	Cycles             uint64  `json:"cycles_simulated"`
 	Committed          uint64  `json:"committed_instructions"`
 	HostNsPerCycle     float64 `json:"host_ns_per_simulated_cycle"`
 	SimInstsPerSec     float64 `json:"simulated_insts_per_second"`
@@ -65,6 +76,19 @@ type SweepPerf struct {
 	Speedup           float64 `json:"speedup_vs_serial"`
 }
 
+// PerfHistoryEntry is one point in the cross-PR perf trajectory: the headline
+// numbers of a past `specasan-bench -perf` run, kept when the report is
+// regenerated so BENCH_sim.json records progress instead of overwriting it.
+type PerfHistoryEntry struct {
+	GeneratedAt    string  `json:"generated_at"`
+	Description    string  `json:"description,omitempty"`
+	HostNsPerCycle float64 `json:"host_ns_per_simulated_cycle"`
+	SimMIPS        float64 `json:"simulated_mips"`
+	SweepSpeedup   float64 `json:"sweep_speedup_vs_serial"`
+	SweepWorkers   int     `json:"sweep_workers"`
+	GoMaxProcs     int     `json:"gomaxprocs"`
+}
+
 // PerfReport is the schema of BENCH_sim.json, the tracked performance
 // baseline of the simulator substrate.
 type PerfReport struct {
@@ -75,6 +99,48 @@ type PerfReport struct {
 	Sweep             SweepPerf      `json:"sweep"`
 	Baseline          PerfBaseline   `json:"baseline"`
 	SingleCoreSpeedup float64        `json:"single_core_speedup_vs_baseline"`
+	// History holds every measurement ever recorded, oldest first, ending
+	// with this report's own headline entry.
+	History []PerfHistoryEntry `json:"history"`
+}
+
+// HistoryEntry summarises this report as one trajectory point.
+func (r *PerfReport) HistoryEntry(description string) PerfHistoryEntry {
+	return PerfHistoryEntry{
+		GeneratedAt:    r.GeneratedAt,
+		Description:    description,
+		HostNsPerCycle: r.SingleCore.HostNsPerCycle,
+		SimMIPS:        r.SingleCore.SimMIPS,
+		SweepSpeedup:   r.Sweep.Speedup,
+		SweepWorkers:   r.Sweep.Workers,
+		GoMaxProcs:     r.GoMaxProcs,
+	}
+}
+
+// LoadPerfHistory reads an existing BENCH_sim.json and returns its history:
+// a v2 file's array verbatim, a v1 file's single measurement converted to
+// one entry, nil when the file does not exist. Regeneration appends to this
+// so the trajectory survives across PRs.
+func LoadPerfHistory(path string) ([]PerfHistoryEntry, error) {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var old PerfReport
+	if err := json.Unmarshal(b, &old); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	switch old.Schema {
+	case perfSchemaV1:
+		return []PerfHistoryEntry{old.HistoryEntry("v1 report (pre-history)")}, nil
+	case PerfSchema:
+		return old.History, nil
+	default:
+		return nil, fmt.Errorf("%s: unknown perf schema %q", path, old.Schema)
+	}
 }
 
 // perfWorkload is the fixed single-core measurement recipe; it matches
@@ -131,6 +197,7 @@ func MeasureSingleCore(steps uint64) (SingleCorePerf, error) {
 		return SingleCorePerf{}, fmt.Errorf("perf workload halted during warmup")
 	}
 	committed0 := machineCommitted(m, cores)
+	cycles0 := m.Cycle()
 	var ms0, ms1 runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&ms0)
@@ -142,6 +209,7 @@ func MeasureSingleCore(steps uint64) (SingleCorePerf, error) {
 	wall := time.Since(start)
 	runtime.ReadMemStats(&ms1)
 	committed := machineCommitted(m, cores) - committed0
+	cycles := m.Cycle() - cycles0
 	if done == 0 || committed == 0 {
 		return SingleCorePerf{}, fmt.Errorf("perf workload too small: %d steps, %d commits", done, committed)
 	}
@@ -151,8 +219,9 @@ func MeasureSingleCore(steps uint64) (SingleCorePerf, error) {
 		Workload:           perfWorkloadName,
 		Mitigation:         core.Unsafe.String(),
 		Steps:              done,
+		Cycles:             cycles,
 		Committed:          committed,
-		HostNsPerCycle:     float64(wall.Nanoseconds()) / float64(done),
+		HostNsPerCycle:     float64(wall.Nanoseconds()) / float64(cycles),
 		SimInstsPerSec:     perSec,
 		SimMIPS:            perSec / 1e6,
 		AllocsPerStep:      allocs / float64(done),
@@ -197,12 +266,15 @@ func MeasureSweep(specs []*workloads.Spec, mits []core.Mitigation, opt Options) 
 }
 
 // MeasurePerf produces the full report: single-core steady state plus the
-// serial-vs-parallel sweep comparison.
+// serial-vs-parallel sweep comparison. The sweep's parallel leg is always
+// measured at workers=GOMAXPROCS (the v2 schema pins this so the recorded
+// speedup_vs_serial is meaningful), overriding any opt.Workers value.
 func MeasurePerf(steps uint64, specs []*workloads.Spec, mits []core.Mitigation, opt Options) (*PerfReport, error) {
 	single, err := MeasureSingleCore(steps)
 	if err != nil {
 		return nil, err
 	}
+	opt.Workers = 0 // par.Workers maps 0 to GOMAXPROCS
 	sweep, err := MeasureSweep(specs, mits, opt)
 	if err != nil {
 		return nil, err
@@ -220,6 +292,18 @@ func MeasurePerf(steps uint64, specs []*workloads.Spec, mits []core.Mitigation, 
 		rep.SingleCoreSpeedup = base.HostNsPerCycle / single.HostNsPerCycle
 	}
 	return rep, nil
+}
+
+// AppendHistory loads the trajectory from an existing report at path (if
+// any) and sets r.History to it plus r's own entry. Call before WriteJSON
+// when regenerating a tracked report.
+func (r *PerfReport) AppendHistory(path, description string) error {
+	hist, err := LoadPerfHistory(path)
+	if err != nil {
+		return err
+	}
+	r.History = append(hist, r.HistoryEntry(description))
+	return nil
 }
 
 // WriteJSON writes the report to path, pretty-printed with a trailing

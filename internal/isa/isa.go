@@ -254,6 +254,58 @@ type Inst struct {
 	HasImm bool
 	// Imm2 is the second immediate (MOVK shift, ADDG/SUBG tag offset).
 	Imm2 int64
+
+	// Decode cache: operand lists and classification are pure functions of
+	// the fields above, and the pipeline asks for them every cycle an
+	// instruction is in flight. The assembler calls Decode once per placed
+	// instruction; a zero info means "not decoded" and every accessor falls
+	// back to computing from Op, so hand-built Insts stay correct.
+	info     instInfo
+	class    Class
+	nSrc     uint8
+	nDst     uint8
+	srcCache [3]Reg
+	dstCache [1]Reg
+}
+
+// instInfo is the decoded predicate bitset cached on an Inst.
+type instInfo uint8
+
+const (
+	infoDecoded instInfo = 1 << iota
+	infoLoad
+	infoStore
+	infoBranch
+	infoWritesFlags
+	infoReadsFlags
+)
+
+// Decode fills the cached operand lists and classification. It is
+// idempotent, and safe to skip: accessors on a non-decoded Inst compute
+// the same answers from Op. Call it only from single-threaded program
+// construction (the assembler) — it mutates the Inst.
+func (in *Inst) Decode() {
+	in.info = 0
+	in.class = in.Classify()
+	in.nSrc = uint8(len(in.Srcs(in.srcCache[:0])))
+	in.nDst = uint8(len(in.Dsts(in.dstCache[:0])))
+	var f instInfo = infoDecoded
+	if in.IsLoad() {
+		f |= infoLoad
+	}
+	if in.IsStore() {
+		f |= infoStore
+	}
+	if in.IsBranch() {
+		f |= infoBranch
+	}
+	if in.WritesFlags() {
+		f |= infoWritesFlags
+	}
+	if in.ReadsFlags() {
+		f |= infoReadsFlags
+	}
+	in.info = f
 }
 
 // Class is the coarse functional class of an instruction, used by the issue
@@ -277,6 +329,9 @@ const (
 
 // Classify returns the functional class of the instruction.
 func (in *Inst) Classify() Class {
+	if in.info&infoDecoded != 0 {
+		return in.class
+	}
 	switch in.Op {
 	case NOP, BTI, YIELD, ISB:
 		return ClassNop
@@ -319,6 +374,9 @@ func (in *Inst) IsMemAccess() bool {
 
 // IsLoad reports whether the instruction reads data memory.
 func (in *Inst) IsLoad() bool {
+	if in.info&infoDecoded != 0 {
+		return in.info&infoLoad != 0
+	}
 	switch in.Op {
 	case LDR, LDRB, SWPAL, LDG:
 		return true
@@ -328,6 +386,9 @@ func (in *Inst) IsLoad() bool {
 
 // IsStore reports whether the instruction writes data memory.
 func (in *Inst) IsStore() bool {
+	if in.info&infoDecoded != 0 {
+		return in.info&infoStore != 0
+	}
 	switch in.Op {
 	case STR, STRB, SWPAL, STG, ST2G:
 		return true
@@ -337,6 +398,9 @@ func (in *Inst) IsStore() bool {
 
 // IsBranch reports whether the instruction can redirect control flow.
 func (in *Inst) IsBranch() bool {
+	if in.info&infoDecoded != 0 {
+		return in.info&infoBranch != 0
+	}
 	switch in.Classify() {
 	case ClassBranch, ClassIndirect:
 		return true
@@ -372,6 +436,14 @@ func (in *Inst) MemBytes() int {
 // Srcs appends the architectural source registers read by the instruction.
 // XZR sources are included (they are trivially ready).
 func (in *Inst) Srcs(dst []Reg) []Reg {
+	if in.info&infoDecoded != 0 {
+		// Element-wise appends: the spread form memmoves even for the
+		// common 1-2 source registers.
+		for i := uint8(0); i < in.nSrc; i++ {
+			dst = append(dst, in.srcCache[i])
+		}
+		return dst
+	}
 	add := func(r Reg) {
 		if r < NumRegs {
 			dst = append(dst, r)
@@ -442,6 +514,12 @@ func (in *Inst) Srcs(dst []Reg) []Reg {
 // Dsts appends the architectural destination registers written by the
 // instruction. XZR destinations are omitted (writes are discarded).
 func (in *Inst) Dsts(dst []Reg) []Reg {
+	if in.info&infoDecoded != 0 {
+		if in.nDst != 0 {
+			dst = append(dst, in.dstCache[0])
+		}
+		return dst
+	}
 	add := func(r Reg) {
 		if r < NumRegs && r != XZR {
 			dst = append(dst, r)
@@ -459,8 +537,26 @@ func (in *Inst) Dsts(dst []Reg) []Reg {
 	return dst
 }
 
+// DstReg returns the destination register and whether one exists. No
+// instruction in this ISA writes more than one register (Dsts never
+// returns XZR, and neither does this).
+func (in *Inst) DstReg() (Reg, bool) {
+	if in.info&infoDecoded != 0 {
+		return in.dstCache[0], in.nDst != 0
+	}
+	var buf [1]Reg
+	d := in.Dsts(buf[:0])
+	if len(d) == 0 {
+		return 0, false
+	}
+	return d[0], true
+}
+
 // WritesFlags reports whether the instruction updates NZCV.
 func (in *Inst) WritesFlags() bool {
+	if in.info&infoDecoded != 0 {
+		return in.info&infoWritesFlags != 0
+	}
 	switch in.Op {
 	case ADDS, SUBS, CMP:
 		return true
@@ -470,6 +566,9 @@ func (in *Inst) WritesFlags() bool {
 
 // ReadsFlags reports whether the instruction reads NZCV.
 func (in *Inst) ReadsFlags() bool {
+	if in.info&infoDecoded != 0 {
+		return in.info&infoReadsFlags != 0
+	}
 	switch in.Op {
 	case BCC, CSEL:
 		return true

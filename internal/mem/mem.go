@@ -12,6 +12,7 @@
 package mem
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 
@@ -20,35 +21,106 @@ import (
 	"specasan/internal/mte"
 )
 
-const pageBytes = 4096
+const (
+	pageShift = 12
+	pageBytes = 1 << pageShift
+	pageMask  = pageBytes - 1
 
-// Image is the committed architectural memory: sparse 4 KiB pages plus the
-// authoritative MTE tag storage.
+	// granulesPerPage pairs the tag sidecar with the data frame: one lock
+	// byte per 16-byte MTE granule of the page.
+	granulesPerPage = pageBytes / mte.GranuleBytes
+	granuleShift    = pageShift - 4 // log2(granulesPerPage)
+
+	// rootPages bounds the directly-indexed part of the page table: page
+	// numbers below it (the first 4 GiB of address space, where programs
+	// live) resolve with one slice index; anything above — fuzz programs
+	// can .org anywhere in the 56-bit space — falls back to a sparse map.
+	rootPages = 1 << 20
+)
+
+// page is one 4 KiB frame of committed memory plus its MTE tag sidecar, so
+// a data+tag pair for an address is two indexed loads into the same frame.
+type page struct {
+	data   [pageBytes]byte
+	locks  [granulesPerPage]mte.Tag
+	tagged int32 // non-zero entries in locks
+}
+
+// Image is the committed architectural memory: sparse 4 KiB pages indexed
+// through a two-level table (flat slice for low pages, map overflow for the
+// rest) plus the authoritative MTE tag storage, which lives inline in the
+// page frames.
 type Image struct {
-	pages map[uint64]*[pageBytes]byte
-	Tags  *mte.Storage
+	root     []*page          // page number -> frame, for pn < rootPages
+	high     map[uint64]*page // overflow for pn >= rootPages
+	numPages int
+	tagged   int // non-zero granule locks across all pages
+
+	// Tags is the architectural tag store, viewing the per-page sidecars.
+	Tags *mte.Storage
 }
 
 // NewImage returns an empty memory image.
 func NewImage() *Image {
-	return &Image{pages: make(map[uint64]*[pageBytes]byte), Tags: mte.NewStorage()}
+	m := &Image{}
+	m.Tags = mte.NewStorageOn(m)
+	return m
 }
 
-func (m *Image) page(addr uint64, create bool) *[pageBytes]byte {
-	pn := addr / pageBytes
-	p := m.pages[pn]
-	if p == nil && create {
-		p = new([pageBytes]byte)
-		m.pages[pn] = p
+// pageAt returns the frame for page number pn, or nil when unmapped.
+func (m *Image) pageAt(pn uint64) *page {
+	if pn < uint64(len(m.root)) {
+		return m.root[pn]
 	}
+	if pn >= rootPages {
+		return m.high[pn]
+	}
+	return nil
+}
+
+// pageFor returns the frame for page number pn, mapping it if needed.
+func (m *Image) pageFor(pn uint64) *page {
+	if p := m.pageAt(pn); p != nil {
+		return p
+	}
+	p := new(page)
+	if pn < rootPages {
+		if pn >= uint64(len(m.root)) {
+			n := uint64(len(m.root)) * 2
+			if n < 64 {
+				n = 64
+			}
+			for n <= pn {
+				n *= 2
+			}
+			if n > rootPages {
+				n = rootPages
+			}
+			grown := make([]*page, n)
+			copy(grown, m.root)
+			m.root = grown
+		}
+		m.root[pn] = p
+	} else {
+		if m.high == nil {
+			m.high = make(map[uint64]*page)
+		}
+		m.high[pn] = p
+	}
+	m.numPages++
 	return p
 }
 
 // PageAddrs returns the base address of every allocated page, sorted — the
 // iteration surface for whole-memory comparison in differential tests.
 func (m *Image) PageAddrs() []uint64 {
-	out := make([]uint64, 0, len(m.pages))
-	for pn := range m.pages {
+	out := make([]uint64, 0, m.numPages)
+	for pn, p := range m.root {
+		if p != nil {
+			out = append(out, uint64(pn)*pageBytes)
+		}
+	}
+	for pn := range m.high {
 		out = append(out, pn*pageBytes)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -61,48 +133,86 @@ const PageBytes = pageBytes
 // ByteAt returns the byte at the (tag-stripped) address.
 func (m *Image) ByteAt(addr uint64) byte {
 	addr = mte.Strip(addr)
-	p := m.page(addr, false)
-	if p == nil {
-		return 0
+	if p := m.pageAt(addr >> pageShift); p != nil {
+		return p.data[addr&pageMask]
 	}
-	return p[addr%pageBytes]
+	return 0
 }
 
 // SetByte stores one byte at the (tag-stripped) address.
 func (m *Image) SetByte(addr uint64, v byte) {
 	addr = mte.Strip(addr)
-	m.page(addr, true)[addr%pageBytes] = v
+	m.pageFor(addr >> pageShift).data[addr&pageMask] = v
 }
 
 // Read copies size bytes starting at addr into a fresh slice.
 func (m *Image) Read(addr uint64, size int) []byte {
 	out := make([]byte, size)
-	for i := range out {
-		out[i] = m.ByteAt(addr + uint64(i))
-	}
+	m.ReadInto(addr, out)
 	return out
+}
+
+// ReadInto fills out with the bytes starting at addr (unmapped reads as 0),
+// the allocation-free variant of Read for callers with a reusable buffer.
+func (m *Image) ReadInto(addr uint64, out []byte) {
+	for len(out) > 0 {
+		addr = mte.Strip(addr)
+		off := addr & pageMask
+		n := uint64(pageBytes - off)
+		if uint64(len(out)) < n {
+			n = uint64(len(out))
+		}
+		if p := m.pageAt(addr >> pageShift); p != nil {
+			copy(out[:n], p.data[off:off+n])
+		} else {
+			clear(out[:n])
+		}
+		addr += n
+		out = out[n:]
+	}
 }
 
 // Write stores the bytes starting at addr.
 func (m *Image) Write(addr uint64, b []byte) {
-	for i, v := range b {
-		m.SetByte(addr+uint64(i), v)
+	for len(b) > 0 {
+		addr = mte.Strip(addr)
+		off := addr & pageMask
+		n := uint64(pageBytes - off)
+		if uint64(len(b)) < n {
+			n = uint64(len(b))
+		}
+		copy(m.pageFor(addr>>pageShift).data[off:off+n], b[:n])
+		addr += n
+		b = b[n:]
 	}
 }
 
 // ReadU64 reads a little-endian 64-bit value.
 func (m *Image) ReadU64(addr uint64) uint64 {
+	addr = mte.Strip(addr)
+	if off := addr & pageMask; off <= pageBytes-8 {
+		p := m.pageAt(addr >> pageShift)
+		if p == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint64(p.data[off : off+8])
+	}
 	var v uint64
-	for i := 0; i < 8; i++ {
-		v |= uint64(m.ByteAt(addr+uint64(i))) << (8 * i)
+	for i := uint64(0); i < 8; i++ {
+		v |= uint64(m.ByteAt(addr+i)) << (8 * i)
 	}
 	return v
 }
 
 // WriteU64 stores a little-endian 64-bit value.
 func (m *Image) WriteU64(addr uint64, v uint64) {
-	for i := 0; i < 8; i++ {
-		m.SetByte(addr+uint64(i), byte(v>>(8*i)))
+	addr = mte.Strip(addr)
+	if off := addr & pageMask; off <= pageBytes-8 {
+		binary.LittleEndian.PutUint64(m.pageFor(addr>>pageShift).data[off:off+8], v)
+		return
+	}
+	for i := uint64(0); i < 8; i++ {
+		m.SetByte(addr+i, byte(v>>(8*i)))
 	}
 }
 
@@ -124,8 +234,76 @@ func (m *Image) ReadUint(addr uint64, size int) uint64 {
 
 // WriteUint stores size bytes (1 or 8) of v little-endian.
 func (m *Image) WriteUint(addr uint64, v uint64, size int) {
-	for i := 0; i < size && i < 8; i++ {
+	if size >= 8 {
+		m.WriteU64(addr, v)
+		return
+	}
+	for i := 0; i < size; i++ {
 		m.SetByte(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// LockAtGranule returns the allocation tag of granule g from the page
+// sidecar. Part of the mte.Backing implementation.
+func (m *Image) LockAtGranule(g uint64) mte.Tag {
+	if p := m.pageAt(g >> granuleShift); p != nil {
+		return p.locks[g&(granulesPerPage-1)]
+	}
+	return 0
+}
+
+// SetLockAtGranule sets the allocation tag of granule g in the page sidecar,
+// mapping the page if needed. Part of the mte.Backing implementation.
+func (m *Image) SetLockAtGranule(g uint64, t mte.Tag) {
+	pn := g >> granuleShift
+	var p *page
+	if t == 0 {
+		// Clearing a tag on an unmapped page is a no-op; don't allocate.
+		if p = m.pageAt(pn); p == nil {
+			return
+		}
+	} else {
+		p = m.pageFor(pn)
+	}
+	idx := g & (granulesPerPage - 1)
+	old := p.locks[idx]
+	if old == t {
+		return
+	}
+	p.locks[idx] = t
+	switch {
+	case old == 0:
+		p.tagged++
+		m.tagged++
+	case t == 0:
+		p.tagged--
+		m.tagged--
+	}
+}
+
+// TaggedGranules returns the number of granules carrying a non-zero lock.
+// Part of the mte.Backing implementation.
+func (m *Image) TaggedGranules() int { return m.tagged }
+
+// ForEachTagged calls f for every granule with a non-zero lock. Part of the
+// mte.Backing implementation.
+func (m *Image) ForEachTagged(f func(g uint64, t mte.Tag)) {
+	walk := func(pn uint64, p *page) {
+		if p == nil || p.tagged == 0 {
+			return
+		}
+		base := pn << granuleShift
+		for i, t := range p.locks {
+			if t != 0 {
+				f(base+uint64(i), t)
+			}
+		}
+	}
+	for pn, p := range m.root {
+		walk(uint64(pn), p)
+	}
+	for pn, p := range m.high {
+		walk(pn, p)
 	}
 }
 

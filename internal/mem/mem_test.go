@@ -43,6 +43,56 @@ func TestImageCrossPageAccess(t *testing.T) {
 	}
 }
 
+func TestTagSidecarGranuleAtPageEdge(t *testing.T) {
+	m := NewImage()
+	edge := uint64(PageBytes - mte.GranuleBytes) // last granule of page 0
+	m.Tags.SetLock(edge, 5)
+	if got := m.Tags.Lock(edge); got != 5 {
+		t.Fatalf("lock at page-edge granule = %d, want 5", got)
+	}
+	// The neighbouring granule lives in the next page's sidecar and must be
+	// untouched (and still reachable even though its page is unmapped).
+	if got := m.Tags.Lock(PageBytes); got != 0 {
+		t.Fatalf("first granule of next page = %d, want 0", got)
+	}
+	// An access from the edge granule into the untagged next page must fail.
+	if m.Tags.CheckAccess(mte.WithKey(edge, 5), 32) {
+		t.Fatal("straddle into untagged next page must fail")
+	}
+	if !m.Tags.CheckAccess(mte.WithKey(edge, 5), 16) {
+		t.Fatal("access within the edge granule must pass")
+	}
+}
+
+func TestTagSidecarRangeStraddlesPages(t *testing.T) {
+	// SetRange across a page boundary — what an ST2G at the last granule of
+	// a page performs — must land one lock in each page's sidecar.
+	m := NewImage()
+	base := uint64(3*PageBytes - mte.GranuleBytes)
+	m.Tags.SetRange(base, 2*mte.GranuleBytes, 9)
+	if got := m.Tags.Lock(base); got != 9 {
+		t.Fatalf("lock in first page = %d, want 9", got)
+	}
+	if got := m.Tags.Lock(3 * PageBytes); got != 9 {
+		t.Fatalf("lock in second page = %d, want 9", got)
+	}
+	if m.Tags.TaggedGranules() != 2 {
+		t.Fatalf("TaggedGranules = %d, want 2", m.Tags.TaggedGranules())
+	}
+	// A 32-byte access covering both granules passes only with the right key.
+	if !m.Tags.CheckAccess(mte.WithKey(base, 9), 32) {
+		t.Fatal("matching cross-page access must pass")
+	}
+	if m.Tags.CheckAccess(mte.WithKey(base, 4), 32) {
+		t.Fatal("mismatched cross-page access must fail")
+	}
+	// Clearing the straddling pair updates both sidecars and the census.
+	m.Tags.SetRange(base, 2*mte.GranuleBytes, 0)
+	if m.Tags.TaggedGranules() != 0 {
+		t.Fatalf("TaggedGranules after clear = %d, want 0", m.Tags.TaggedGranules())
+	}
+}
+
 func TestReadWriteUintSizes(t *testing.T) {
 	m := NewImage()
 	m.WriteUint(0x3000, 0xabcd, 1)

@@ -94,37 +94,54 @@ func ChooseTag(seed uint64, exclude uint16) Tag {
 	return avail[(h>>33)%uint64(len(avail))]
 }
 
+// Backing is the physical home of the allocation tags. The memory image
+// implements it with a per-page tag sidecar (one lock byte per granule,
+// stored next to the page's data so a data+tag pair is two indexed loads in
+// the same frame); NewStorage falls back to a standalone sparse map for
+// storages created without an image.
+type Backing interface {
+	// LockAtGranule returns the allocation tag of granule g (0 = untagged).
+	LockAtGranule(g uint64) Tag
+	// SetLockAtGranule sets the allocation tag of granule g.
+	SetLockAtGranule(g uint64, t Tag)
+	// TaggedGranules returns the number of granules with a non-zero lock.
+	TaggedGranules() int
+	// ForEachTagged calls f for every granule with a non-zero lock, in no
+	// particular order.
+	ForEachTagged(f func(g uint64, t Tag))
+}
+
 // Storage is the architectural allocation-tag store: lock values for every
 // granule of physical memory. Real hardware carves this out of DRAM (the
 // "tag storage" address space, §3.3.4); the simulator keeps it sparse.
 //
 // Storage is the authoritative copy; caches and the LFB hold coherent
-// replicas alongside their data lines.
+// replicas alongside their data lines. It is a thin view over a Backing so
+// the tags can live wherever the data lives.
 type Storage struct {
-	locks map[uint64]Tag // granule index -> lock; absent = 0 (untagged)
+	b Backing
 }
 
-// NewStorage returns an empty tag storage (all granules untagged).
+// NewStorage returns an empty tag storage (all granules untagged) backed by
+// a standalone sparse map.
 func NewStorage() *Storage {
-	return &Storage{locks: make(map[uint64]Tag)}
+	return &Storage{b: granuleMap{locks: make(map[uint64]Tag)}}
 }
+
+// NewStorageOn returns a tag storage that reads and writes tags through b.
+func NewStorageOn(b Backing) *Storage { return &Storage{b: b} }
 
 // Lock returns the allocation tag of the granule containing addr.
 func (s *Storage) Lock(addr uint64) Tag {
-	return s.locks[GranuleIndex(addr)]
+	return s.b.LockAtGranule(GranuleIndex(addr))
 }
 
 // LockAtGranule returns the allocation tag of granule g.
-func (s *Storage) LockAtGranule(g uint64) Tag { return s.locks[g] }
+func (s *Storage) LockAtGranule(g uint64) Tag { return s.b.LockAtGranule(g) }
 
 // SetLock sets the allocation tag for the granule containing addr.
 func (s *Storage) SetLock(addr uint64, t Tag) {
-	g := GranuleIndex(addr)
-	if t == 0 {
-		delete(s.locks, g)
-		return
-	}
-	s.locks[g] = t
+	s.b.SetLockAtGranule(GranuleIndex(addr), t)
 }
 
 // SetRange tags every granule in [addr, addr+size).
@@ -135,36 +152,58 @@ func (s *Storage) SetRange(addr uint64, size uint64, t Tag) {
 	first := GranuleIndex(addr)
 	last := GranuleIndex(Strip(addr) + size - 1)
 	for g := first; g <= last; g++ {
-		if t == 0 {
-			delete(s.locks, g)
-		} else {
-			s.locks[g] = t
-		}
+		s.b.SetLockAtGranule(g, t)
 	}
 }
 
 // CheckAccess reports whether an access of size bytes at ptr is tag-safe.
 func (s *Storage) CheckAccess(ptr uint64, size int) bool {
-	return Check(ptr, size, s.LockAtGranule)
+	return Check(ptr, size, s.b.LockAtGranule)
 }
 
 // TaggedGranules returns the number of granules carrying a non-zero lock.
-func (s *Storage) TaggedGranules() int { return len(s.locks) }
+func (s *Storage) TaggedGranules() int { return s.b.TaggedGranules() }
 
 // DiffGranules returns the granule indices whose locks differ between two
 // storages, sorted — the tag half of the golden-equivalence check.
 func (s *Storage) DiffGranules(o *Storage) []uint64 {
 	var out []uint64
-	for g, t := range s.locks {
-		if o.locks[g] != t {
+	s.b.ForEachTagged(func(g uint64, t Tag) {
+		if o.b.LockAtGranule(g) != t {
 			out = append(out, g)
 		}
-	}
-	for g, t := range o.locks {
-		if s.locks[g] != t && s.locks[g] == 0 {
+	})
+	o.b.ForEachTagged(func(g uint64, t Tag) {
+		// Granules tagged only on the other side; both-tagged mismatches
+		// were already collected above.
+		if s.b.LockAtGranule(g) == 0 {
 			out = append(out, g)
 		}
-	}
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// granuleMap is the standalone map backing for storages created without a
+// memory image (unit tests, tools). Absent = 0 (untagged).
+type granuleMap struct {
+	locks map[uint64]Tag
+}
+
+func (m granuleMap) LockAtGranule(g uint64) Tag { return m.locks[g] }
+
+func (m granuleMap) SetLockAtGranule(g uint64, t Tag) {
+	if t == 0 {
+		delete(m.locks, g)
+		return
+	}
+	m.locks[g] = t
+}
+
+func (m granuleMap) TaggedGranules() int { return len(m.locks) }
+
+func (m granuleMap) ForEachTagged(f func(g uint64, t Tag)) {
+	for g, t := range m.locks {
+		f(g, t)
+	}
 }

@@ -13,37 +13,52 @@ import (
 
 // Set is a named collection of counters. The zero value is not usable; use
 // NewSet.
+//
+// Counters are stored behind stable pointers so hot paths can increment
+// through a handle from Counter instead of hashing the key on every event.
 type Set struct {
 	name     string
-	counters map[string]uint64
+	counters map[string]*uint64
 	order    []string
 }
 
 // NewSet returns an empty counter set with the given name.
 func NewSet(name string) *Set {
-	return &Set{name: name, counters: make(map[string]uint64)}
+	return &Set{name: name, counters: make(map[string]*uint64)}
+}
+
+// Counter returns a stable pointer to counter key, creating it on first
+// use. The pointer stays valid for the life of the Set; incrementing
+// through it is equivalent to Add(key, 1) without the map lookup.
+func (s *Set) Counter(key string) *uint64 {
+	p, ok := s.counters[key]
+	if !ok {
+		p = new(uint64)
+		s.counters[key] = p
+		s.order = append(s.order, key)
+	}
+	return p
 }
 
 // Add increments counter key by delta, creating it on first use.
 func (s *Set) Add(key string, delta uint64) {
-	if _, ok := s.counters[key]; !ok {
-		s.order = append(s.order, key)
-	}
-	s.counters[key] += delta
+	*s.Counter(key) += delta
 }
 
 // Inc increments counter key by one.
 func (s *Set) Inc(key string) { s.Add(key, 1) }
 
 // Get returns the current value of counter key (0 if never touched).
-func (s *Set) Get(key string) uint64 { return s.counters[key] }
+func (s *Set) Get(key string) uint64 {
+	if p, ok := s.counters[key]; ok {
+		return *p
+	}
+	return 0
+}
 
 // Set assigns counter key to v.
 func (s *Set) Set(key string, v uint64) {
-	if _, ok := s.counters[key]; !ok {
-		s.order = append(s.order, key)
-	}
-	s.counters[key] = v
+	*s.Counter(key) = v
 }
 
 // Keys returns the counter names in first-use order.
@@ -72,7 +87,7 @@ func (s *Set) String() string {
 		if i > 0 {
 			b.WriteByte(' ')
 		}
-		fmt.Fprintf(&b, "%s=%d", k, s.counters[k])
+		fmt.Fprintf(&b, "%s=%d", k, s.Get(k))
 	}
 	b.WriteByte('}')
 	return b.String()
@@ -81,7 +96,7 @@ func (s *Set) String() string {
 // Merge adds every counter from other into s.
 func (s *Set) Merge(other *Set) {
 	for _, k := range other.order {
-		s.Add(k, other.counters[k])
+		s.Add(k, other.Get(k))
 	}
 }
 
