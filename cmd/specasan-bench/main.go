@@ -25,6 +25,7 @@ import (
 	"specasan/internal/harness"
 	"specasan/internal/obs"
 	"specasan/internal/prof"
+	"specasan/internal/scenario"
 	"specasan/internal/workloads"
 )
 
@@ -34,6 +35,8 @@ import (
 const perfSteps = 500_000
 
 func main() {
+	scen := flag.String("scenario", "",
+		"run the sweep a scenario describes (preset name or file); incompatible with -fig/-all/-perf")
 	fig := flag.Int("fig", 0, "figure to regenerate (1, 6, 7, 8, 9)")
 	all := flag.Bool("all", false, "regenerate every figure")
 	perf := flag.Bool("perf", false, "measure simulator performance and write a BENCH_sim.json report")
@@ -110,10 +113,27 @@ func main() {
 		}()
 	}
 
+	if *scen != "" {
+		if *fig != 0 || *all || *perf {
+			fatal(fmt.Errorf("-scenario is a complete sweep description; combine overrides into the scenario instead of -fig/-all/-perf"))
+		}
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		runScenario(*scen, opt, explicit)
+		return
+	}
+
 	if *perf {
 		// -perf measures the simulator itself; instrumentation would skew it.
 		opt.Metrics = nil
 		opt.Attach = nil
+		// The sweep leg of the measurement is exactly the figure6 scenario at
+		// this run's scale; stamp its hash so the history's regression gate
+		// can tell comparable entries apart.
+		ps, _ := scenario.Preset(scenario.PresetFigure6)
+		ps.Run.Scale = opt.Scale
+		ps.Run.SkipIdle = !opt.NoSkipIdle
+		opt.ScenarioHash = ps.Hash()
 		runPerf(*perfOut, opt)
 		return
 	}
@@ -150,6 +170,39 @@ func main() {
 	run(*fig)
 }
 
+// runScenario runs the sweep a scenario describes and renders it as a
+// normalized-execution-time table. Explicitly-typed -scale/-workers/
+// -skip-idle flags override the scenario's run options; everything else
+// (machine, mitigation columns, workload rows) comes from the scenario. The
+// effective hash is printed on stderr and stamped into -metrics-out records.
+func runScenario(arg string, opt harness.Options, explicit map[string]bool) {
+	s, err := scenario.Load(arg)
+	if err != nil {
+		fatal(err)
+	}
+	if explicit["scale"] {
+		s.Run.Scale = opt.Scale
+	}
+	if explicit["workers"] {
+		s.Run.Workers = opt.Workers
+	}
+	if explicit["skip-idle"] {
+		s.Run.SkipIdle = !opt.NoSkipIdle
+	}
+	hash := s.Hash()
+	fmt.Fprintf(os.Stderr, "specasan-bench: scenario %s (hash %s)\n", s.Name, hash)
+	sw, err := harness.RunScenarioSweep(s, opt)
+	if err != nil {
+		fatal(err)
+	}
+	for _, f := range sw.FailedCells() {
+		fmt.Fprintln(os.Stderr, "specasan-bench: cell failed:", f)
+	}
+	fmt.Println(sw.FormatNormalized(fmt.Sprintf(
+		"Scenario %s (hash %s): normalized execution time (unsafe baseline = 1.0)",
+		s.Name, hash)))
+}
+
 // runPerf measures the simulator substrate itself — steady-state single-core
 // throughput and serial-vs-parallel sweep wall time — and writes the
 // BENCH_sim.json report (format documented in README.md).
@@ -171,6 +224,7 @@ func runPerf(path string, opt harness.Options) {
 		fmt.Fprintln(os.Stderr, "specasan-bench:", err)
 		os.Exit(1)
 	}
+	notice, regressed := rep.RegressionVsPrevious()
 	fmt.Printf("single core: %.0f ns/cycle, %.3f simulated MIPS, %.4f allocs/committed instr (%s)\n",
 		rep.SingleCore.HostNsPerCycle, rep.SingleCore.SimMIPS,
 		rep.SingleCore.AllocsPerCommitted, rep.SingleCore.Workload)
@@ -180,6 +234,10 @@ func runPerf(path string, opt harness.Options) {
 		rep.Sweep.Cells, rep.Sweep.WallSeconds, rep.Sweep.Workers,
 		rep.Sweep.SerialWallSeconds, rep.Sweep.Speedup)
 	fmt.Printf("report:      %s\n", path)
+	fmt.Println(notice)
+	if regressed {
+		os.Exit(1)
+	}
 }
 
 // writeTrace dumps the recorded event trace as Chrome trace-event JSON.
@@ -229,13 +287,8 @@ func figure1() {
 			fmt.Fprintln(os.Stderr, "specasan-bench:", err)
 			os.Exit(1)
 		}
-		class := map[core.Mitigation]string{
-			core.Unsafe: "none", core.Fence: "delay ACCESS",
-			core.STT: "delay USE", core.GhostMinion: "delay TRANSMIT",
-			core.SpecASan: "delay unsafe ACCESS",
-		}[mit]
 		cycles := benignLoop(mit)
-		fmt.Printf("%-13s %-18s %-14v %d\n", mit, class, !out.Leaked, cycles)
+		fmt.Printf("%-13s %-18s %-14v %d\n", mit, mit.Descriptor().Class, !out.Leaked, cycles)
 	}
 	fmt.Println()
 }

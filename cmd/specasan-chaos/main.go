@@ -23,10 +23,9 @@ import (
 
 	"specasan/internal/attacks"
 	"specasan/internal/chaos"
-	"specasan/internal/core"
 	"specasan/internal/cpu"
 	"specasan/internal/obs"
-	"specasan/internal/workloads"
+	"specasan/internal/scenario"
 )
 
 func fail(format string, args ...interface{}) {
@@ -35,6 +34,8 @@ func fail(format string, args ...interface{}) {
 }
 
 func main() {
+	scen := flag.String("scenario", "",
+		"scenario preset name or file; explicitly-set flags override its fields (default: the chaos-smoke preset, every flag applies)")
 	seeds := flag.Int("seeds", 8, "number of chaos seeds per grid cell")
 	seed0 := flag.Uint64("seed0", 1, "first seed")
 	kindsFlag := flag.String("kinds", "", "comma-separated fault kinds (default: every kind)")
@@ -56,35 +57,78 @@ func main() {
 	verbose := flag.Bool("v", false, "log each run")
 	flag.Parse()
 
-	kinds := chaos.AllKinds()
-	if *kindsFlag != "" {
-		kinds = nil
-		for _, s := range strings.Split(*kindsFlag, ",") {
-			k, err := chaos.ParseKind(strings.TrimSpace(s))
-			if err != nil {
-				fail("%v", err)
-			}
-			kinds = append(kinds, k)
-		}
-	}
+	// Scenario layering: without -scenario the base is the chaos-smoke
+	// preset and every flag (defaults included) applies over it, preserving
+	// the pre-scenario CLI behaviour exactly; with -scenario only the flags
+	// the user actually typed override the loaded scenario.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	overrides := func(name string) bool { return *scen == "" || explicit[name] }
 
-	var specs []*workloads.Spec
-	for _, name := range strings.Split(*wlFlag, ",") {
-		name = strings.TrimSpace(name)
-		spec := workloads.ByName(name)
-		if spec == nil {
-			fail("unknown workload %q", name)
-		}
-		specs = append(specs, spec)
-	}
-
-	var mits []core.Mitigation
-	for _, s := range strings.Split(*mitsFlag, ",") {
-		m, err := core.ParseMitigation(strings.TrimSpace(s))
-		if err != nil {
+	s, _ := scenario.Preset(scenario.PresetChaosSmoke)
+	if *scen != "" {
+		var err error
+		if s, err = scenario.Load(*scen); err != nil {
 			fail("%v", err)
 		}
-		mits = append(mits, m)
+		if s.Chaos == nil {
+			smoke, _ := scenario.Preset(scenario.PresetChaosSmoke)
+			s.Chaos = smoke.Chaos
+		}
+	}
+	if overrides("seeds") {
+		s.Chaos.Seeds = *seeds
+	}
+	if overrides("seed0") {
+		s.Chaos.Seed0 = *seed0
+	}
+	if overrides("kinds") {
+		s.Chaos.Kinds = splitList(*kindsFlag)
+	}
+	if overrides("workloads") {
+		s.Workloads = splitList(*wlFlag)
+	}
+	if overrides("mits") {
+		s.Mitigations = splitList(*mitsFlag)
+	}
+	if overrides("rate") {
+		s.Chaos.Rate = *rate
+	}
+	if overrides("maxlat") {
+		s.Chaos.MaxLatency = *maxLat
+	}
+	if overrides("scale") {
+		s.Run.Scale = *scale
+	}
+	if overrides("maxcycles") {
+		s.Run.MaxCycles = *maxCycles
+	}
+	if overrides("verdict-seeds") {
+		s.Chaos.VerdictSeeds = *verdictSeeds
+	}
+	if overrides("workers") {
+		s.Run.Workers = *workers
+	}
+	if overrides("skip-idle") {
+		s.Run.SkipIdle = *skipIdle
+	}
+	if err := s.Validate(); err != nil {
+		fail("%v", err)
+	}
+	hash := s.Hash()
+	fmt.Fprintf(os.Stderr, "specasan-chaos: scenario %s (hash %s)\n", s.Name, hash)
+
+	kinds, err := s.ChaosKinds()
+	if err != nil {
+		fail("%v", err)
+	}
+	specs, err := s.WorkloadSpecs()
+	if err != nil {
+		fail("%v", err)
+	}
+	mits, err := s.MitigationList()
+	if err != nil {
+		fail("%v", err)
 	}
 
 	// Grid columns: each kind alone (isolating which perturbation breaks
@@ -97,16 +141,18 @@ func main() {
 		kindSets = append(kindSets, kinds)
 	}
 
+	machine := s.Machine
 	var cells []chaos.CampaignCell
 	for _, spec := range specs {
 		for _, mit := range mits {
 			for _, ks := range kindSets {
-				for s := 0; s < *seeds; s++ {
+				for i := 0; i < s.Chaos.Seeds; i++ {
 					cells = append(cells, chaos.CampaignCell{
 						Spec: spec, Mit: mit,
 						Cfg: chaos.Config{
-							Seed: *seed0 + uint64(s), Kinds: ks,
-							Rate: *rate, MaxLatency: *maxLat,
+							Seed: s.Chaos.Seed0 + uint64(i), Kinds: ks,
+							Rate: s.Chaos.Rate, MaxLatency: s.Chaos.MaxLatency,
+							Machine: &machine,
 						},
 					})
 				}
@@ -128,8 +174,9 @@ func main() {
 		metricsW = f
 	}
 
-	reps, err := chaos.RunCampaignMetrics(cells, *scale, *maxCycles, *workers, metricsW,
-		func(m *cpu.Machine) { m.SkipIdle = *skipIdle })
+	reps, err := chaos.RunCampaignMetrics(cells, s.Run.Scale, s.Run.MaxCycles,
+		s.Run.Workers, metricsW, hash,
+		func(m *cpu.Machine) { m.SkipIdle = s.Run.SkipIdle })
 	if err != nil {
 		c := cells[len(reps)]
 		fail("%s/%v: %v", c.Spec.Name, c.Mit, err)
@@ -154,13 +201,14 @@ func main() {
 		}
 	}
 	fmt.Printf("golden sweep: %d runs (%d workloads x %d mitigations x %d kind sets x %d seeds), %d faults injected, %d divergences\n",
-		runs, len(specs), len(mits), len(kindSets), *seeds, injected, failures)
+		runs, len(specs), len(mits), len(kindSets), s.Chaos.Seeds, injected, failures)
 
 	drifted := 0
-	if *verdicts {
-		for s := 0; s < *verdictSeeds; s++ {
-			seed := *seed0 + uint64(s)
-			drifts, err := chaos.CheckVerdictInvarianceParallel(seed, *rate, attacks.TableMitigations(), *workers)
+	if *verdicts && s.Chaos.VerdictSeeds > 0 {
+		for i := 0; i < s.Chaos.VerdictSeeds; i++ {
+			seed := s.Chaos.Seed0 + uint64(i)
+			drifts, err := chaos.CheckVerdictInvarianceParallel(seed, s.Chaos.Rate,
+				attacks.TableMitigations(), s.Run.Workers)
 			if err != nil {
 				fail("verdict sweep: %v", err)
 			}
@@ -170,7 +218,7 @@ func main() {
 			}
 		}
 		fmt.Printf("verdict sweep: %d attacks x %d mitigations x %d seeds, %d drifts\n",
-			len(attacks.All()), len(attacks.TableMitigations()), *verdictSeeds, drifted)
+			len(attacks.All()), len(attacks.TableMitigations()), s.Chaos.VerdictSeeds, drifted)
 	}
 
 	if *traceIdx >= 0 {
@@ -181,7 +229,7 @@ func main() {
 		// Chaos is seeded per cell, so this solo re-run reproduces the
 		// campaign run exactly — the trace shows the same perturbed timeline.
 		var tr *obs.Tracer
-		if _, err := chaos.RunWorkload(c.Spec, c.Mit, c.Cfg, *scale, *maxCycles,
+		if _, err := chaos.RunWorkload(c.Spec, c.Mit, c.Cfg, s.Run.Scale, s.Run.MaxCycles,
 			func(m *cpu.Machine) {
 				tr = obs.NewTracer(len(m.Cores), 0)
 				m.AttachObs(tr, nil)
@@ -205,6 +253,18 @@ func main() {
 	if failures > 0 || drifted > 0 {
 		os.Exit(1)
 	}
+}
+
+// splitList splits a comma-separated flag value, dropping empty parts (an
+// empty value yields nil, which scenario fields read as "default set").
+func splitList(csv string) []string {
+	var out []string
+	for _, p := range strings.Split(csv, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func kindSetName(ks []chaos.Kind) string {

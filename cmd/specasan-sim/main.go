@@ -5,13 +5,22 @@
 //
 //	specasan-sim -bench 505.mcf_r -mitigation SpecASan -scale 0.5
 //	specasan-sim -file prog.s -mitigation Unsafe
+//	specasan-sim -scenario examples/scenarios/dom-vs-specasan.json
 //	specasan-sim -config          # print the Table 2 configuration
+//
+// -scenario loads a preset name or scenario file as the base configuration
+// (machine, mitigation, workload, run options); explicitly-set flags
+// override individual fields. A scenario with several workloads or
+// mitigations runs the first of each (sim is a single-run tool; sweeps are
+// specasan-bench's job). The effective scenario's canonical hash is printed
+// on stderr and stamped into -metrics-out records.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"specasan/internal/asm"
 	"specasan/internal/core"
@@ -20,13 +29,17 @@ import (
 	"specasan/internal/isa"
 	"specasan/internal/obs"
 	"specasan/internal/prof"
+	"specasan/internal/scenario"
 	"specasan/internal/workloads"
 )
 
 func main() {
+	scen := flag.String("scenario", "",
+		"scenario preset name or file; explicitly-set flags override its fields")
 	bench := flag.String("bench", "", "benchmark kernel name (e.g. 505.mcf_r, canneal)")
 	file := flag.String("file", "", "assembly file to run instead of a kernel")
-	mitName := flag.String("mitigation", "Unsafe", "Unsafe|MTE|SpecBarrier|STT|GhostMinion|SpecCFI|SpecASan|SpecASan+CFI")
+	mitName := flag.String("mitigation", "Unsafe", "a registered policy name (specasan-sim -mitigations lists them)")
+	listMits := flag.Bool("mitigations", false, "list the registered mitigation policies and exit")
 	scale := flag.Float64("scale", 1.0, "kernel iteration scale")
 	maxCycles := flag.Uint64("max-cycles", 500_000_000, "cycle budget")
 	showConfig := flag.Bool("config", false, "print the simulated CPU configuration (Table 2) and exit")
@@ -44,10 +57,60 @@ func main() {
 		printConfig()
 		return
 	}
-	mit, err := core.ParseMitigation(*mitName)
+	if *listMits {
+		for _, m := range core.RegisteredMitigations() {
+			d := m.Descriptor()
+			fmt.Printf("%-14s %s\n", d.Name, d.Class)
+		}
+		return
+	}
+
+	// Scenario layering: without -scenario the base is the default (table2)
+	// scenario and every flag (defaults included) applies over it —
+	// reproducing the pre-scenario CLI exactly; with -scenario only flags
+	// the user actually typed override the loaded scenario.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	overrides := func(name string) bool { return *scen == "" || explicit[name] }
+
+	s := scenario.Default()
+	if *scen != "" {
+		var err error
+		if s, err = scenario.Load(*scen); err != nil {
+			fatal(err)
+		}
+	} else if *bench == "" && *file == "" {
+		fatal(fmt.Errorf("need -bench, -file, or -scenario (or -config)"))
+	}
+	if overrides("bench") && *bench != "" {
+		s.Workloads = []string{*bench}
+	}
+	if overrides("file") && *file != "" {
+		s.Workloads = []string{scenario.FileWorkloadPrefix + *file}
+	}
+	if overrides("mitigation") {
+		s.Mitigations = []string{*mitName}
+	}
+	if overrides("scale") {
+		s.Run.Scale = *scale
+	}
+	if overrides("max-cycles") {
+		s.Run.MaxCycles = *maxCycles
+	}
+	if overrides("skip-idle") {
+		s.Run.SkipIdle = *skipIdle
+	}
+	if err := s.Validate(); err != nil {
+		fatal(err)
+	}
+	hash := s.Hash()
+	fmt.Fprintf(os.Stderr, "specasan-sim: scenario %s (hash %s)\n", s.Name, hash)
+
+	mits, err := s.MitigationList()
 	if err != nil {
 		fatal(err)
 	}
+	mit := mits[0]
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		fatal(err)
@@ -59,24 +122,22 @@ func main() {
 	}()
 
 	var prog *asm.Program
-	cfg := core.DefaultConfig()
+	cfg := s.Machine
 	threads := 1
-	switch {
-	case *bench != "":
-		spec := workloads.ByName(*bench)
-		if spec == nil {
-			fatal(fmt.Errorf("unknown benchmark %q (see internal/workloads)", *bench))
-		}
-		threads = spec.Threads
-		prog, err = spec.Build(mit.MTEEnabled(), *scale)
-	case *file != "":
+	workload := s.Workloads[0]
+	if path, isFile := strings.CutPrefix(workload, scenario.FileWorkloadPrefix); isFile {
 		var src []byte
-		src, err = os.ReadFile(*file)
+		src, err = os.ReadFile(path)
 		if err == nil {
 			prog, err = asm.Assemble(string(src))
 		}
-	default:
-		fatal(fmt.Errorf("need -bench or -file (or -config)"))
+	} else {
+		spec := workloads.ByName(workload)
+		if spec == nil {
+			fatal(fmt.Errorf("unknown benchmark %q (see internal/workloads)", workload))
+		}
+		threads = spec.Threads
+		prog, err = spec.Build(mit.MTEEnabled(), s.Run.Scale)
 	}
 	if err != nil {
 		fatal(err)
@@ -90,7 +151,7 @@ func main() {
 	for i := 0; i < threads; i++ {
 		m.Core(i).SetReg(isa.X0, uint64(i))
 	}
-	m.SkipIdle = *skipIdle
+	m.SkipIdle = s.Run.SkipIdle
 	if *traceText {
 		m.Core(0).TraceFn = func(f string, a ...any) { fmt.Printf(f+"\n", a...) }
 	}
@@ -110,7 +171,7 @@ func main() {
 		rec = cpu.NewRecorder(*pipeview * 4)
 		m.Core(0).Rec = rec
 	}
-	res := m.Run(*maxCycles)
+	res := m.Run(s.Run.MaxCycles)
 	if tr != nil {
 		if err := writeTrace(*traceOut, tr); err != nil {
 			fatal(err)
@@ -118,11 +179,10 @@ func main() {
 		fmt.Printf("trace        %s (%d events, %d dropped)\n", *traceOut, tr.Recorded(), tr.Dropped())
 	}
 	if met != nil {
-		name := *bench
-		if name == "" {
-			name = *file
-		}
-		if err := writeMetrics(*metricsOut, met.Record(name, mit.String(), res.Cycles, res.Committed)); err != nil {
+		name := strings.TrimPrefix(workload, scenario.FileWorkloadPrefix)
+		rec := met.Record(name, mit.String(), res.Cycles, res.Committed)
+		rec.ScenarioHash = hash
+		if err := writeMetrics(*metricsOut, rec); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("metrics      %s\n", *metricsOut)

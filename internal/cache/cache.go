@@ -522,6 +522,30 @@ type AccessRes struct {
 	MSHROccupancy int
 }
 
+// Probe reports whether ptr's line is already present in core's L1D — and,
+// when includeLFB, whether its fill is in flight in the LFB — without
+// performing an access: no port reservation, no LRU or hit/miss counter
+// update, no fill, no tag check. Issue-time policy gates (the Delay-on-Miss
+// defence) use it to classify a speculative load as hit or miss before
+// deciding whether it may touch the hierarchy at all.
+func (h *Hierarchy) Probe(core int, ptr uint64, now uint64, includeLFB bool) bool {
+	addr := mte.Strip(ptr)
+	if h.L1D[core].lookup(addr) >= 0 {
+		return true
+	}
+	if !includeLFB {
+		return false
+	}
+	la := h.lineAddr(addr)
+	for i := range h.LFBs[core].entries {
+		e := &h.LFBs[core].entries[i]
+		if e.valid && e.addr == la && e.dataAt+1 >= now {
+			return true
+		}
+	}
+	return false
+}
+
 // Access performs a data-side cache access and returns its timing and
 // tag-check outcome. It is the L1D entry point used by the LSQ for loads and
 // by commit for stores.

@@ -30,16 +30,19 @@ type CampaignCell struct {
 // with the reports of the cells before it.
 func RunCampaign(cells []CampaignCell, scale float64, maxCycles uint64,
 	workers int) ([]*RunReport, error) {
-	return RunCampaignMetrics(cells, scale, maxCycles, workers, nil)
+	return RunCampaignMetrics(cells, scale, maxCycles, workers, nil, "")
 }
 
 // RunCampaignMetrics is RunCampaign with an optional obs JSONL metrics
 // stream: one record per successfully-run cell, buffered cell-locally and
 // flushed in cell order, so the stream is byte-identical for any worker
 // count. A nil metrics writer disables the instrumentation entirely.
-// Extra attach hooks run on every cell's machine after construction.
+// scenarioHash, when non-empty, is stamped into every record (the campaign
+// scenario's canonical content hash). Extra attach hooks run on every cell's
+// machine after construction.
 func RunCampaignMetrics(cells []CampaignCell, scale float64, maxCycles uint64,
-	workers int, metrics io.Writer, extraAttach ...func(*cpu.Machine)) ([]*RunReport, error) {
+	workers int, metrics io.Writer, scenarioHash string,
+	extraAttach ...func(*cpu.Machine)) ([]*RunReport, error) {
 
 	reps := make([]*RunReport, len(cells))
 	errs := make([]error, len(cells))
@@ -60,9 +63,10 @@ func RunCampaignMetrics(cells []CampaignCell, scale float64, maxCycles uint64,
 		reps[i], errs[i] = RunWorkload(cells[i].Spec, cells[i].Mit, cells[i].Cfg,
 			scale, maxCycles, attach...)
 		if met != nil && errs[i] == nil {
-			errs[i] = obs.WriteMetricsLine(&bufs[i],
-				met.Record(cells[i].Spec.Name, cells[i].Mit.String(),
-					reps[i].Cycles, reps[i].Committed))
+			rec := met.Record(cells[i].Spec.Name, cells[i].Mit.String(),
+				reps[i].Cycles, reps[i].Committed)
+			rec.ScenarioHash = scenarioHash
+			errs[i] = obs.WriteMetricsLine(&bufs[i], rec)
 		}
 	}, flush)
 	for i, err := range errs {

@@ -85,7 +85,7 @@ func TestRunCampaignMetricsDeterminism(t *testing.T) {
 
 	run := func(workers int) (string, string) {
 		var metrics bytes.Buffer
-		reps, err := RunCampaignMetrics(cells, 0.02, 50_000_000, workers, &metrics)
+		reps, err := RunCampaignMetrics(cells, 0.02, 50_000_000, workers, &metrics, "")
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}

@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 
+	"specasan/internal/core"
 	"specasan/internal/cpu"
 )
 
@@ -109,6 +110,11 @@ type Config struct {
 	// MaxLatency bounds the extra cycles one LatencyJitter/LFBStall/
 	// BranchDelay injection adds (uniform in [1, MaxLatency]).
 	MaxLatency uint64
+	// Machine, when set, is the machine configuration RunWorkload builds
+	// (its Cores field is overridden per workload); nil means
+	// core.DefaultConfig. Scenario-driven campaigns set this so the stamped
+	// scenario hash describes the machine that actually ran.
+	Machine *core.Config
 }
 
 // DefaultConfig returns a config that exercises every fault kind at a rate

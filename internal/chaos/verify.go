@@ -142,6 +142,9 @@ func RunWorkload(spec *workloads.Spec, mit core.Mitigation, chaosCfg Config,
 		return nil, fmt.Errorf("%s: %w", spec.Name, err)
 	}
 	cfg := core.DefaultConfig()
+	if chaosCfg.Machine != nil {
+		cfg = *chaosCfg.Machine
+	}
 	cfg.Cores = spec.Threads
 	m, err := cpu.NewMachine(cfg, mit, prog)
 	if err != nil {

@@ -129,6 +129,18 @@ func (c *Config) Validate() error {
 		return errf("queue capacities must be >= 1")
 	case c.ALUs < 1 || c.LoadPorts < 1 || c.StorePort < 1:
 		return errf("need at least one unit of each kind")
+	case c.BHBLen < 1:
+		return errf("BHBLen must be >= 1")
+	case c.LFBEntries < 1:
+		return errf("LFBEntries must be >= 1")
+	case c.MSHRs < 1:
+		return errf("MSHRs must be >= 1")
+	case c.GhostSize < 1:
+		return errf("GhostSize must be >= 1")
+	case c.L1ILatency < 1 || c.L1DLatency < 1 || c.L2Latency < 1:
+		return errf("cache latencies must be >= 1 cycle")
+	case c.DRAMLatency < 1:
+		return errf("DRAMLatency must be >= 1 cycle")
 	case c.LineBytes != 64:
 		return errf("LineBytes must be 64 (4 tag granules per line)")
 	case c.L1DSizeKB*1024%(c.L1DWays*c.LineBytes) != 0:

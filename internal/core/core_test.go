@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -185,21 +186,117 @@ func TestDefaultConfigMatchesTable2(t *testing.T) {
 	}
 }
 
+// TestConfigValidation drives Validate through every rejection, one table
+// row per field it guards, and checks the error names what broke.
 func TestConfigValidation(t *testing.T) {
-	bad := DefaultConfig()
-	bad.Cores = 0
-	if bad.Validate() == nil {
-		t.Error("zero cores must fail")
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		want   string
+	}{
+		{"zero cores", func(c *Config) { c.Cores = 0 }, "Cores"},
+		{"zero fetch width", func(c *Config) { c.FetchWidth = 0 }, "widths"},
+		{"zero issue width", func(c *Config) { c.IssueWidth = 0 }, "widths"},
+		{"zero commit width", func(c *Config) { c.CommitWidth = 0 }, "widths"},
+		{"tiny ROB", func(c *Config) { c.ROBEntries = 1 }, "ROBEntries"},
+		{"zero IQ", func(c *Config) { c.IQEntries = 0 }, "queue"},
+		{"zero LQ", func(c *Config) { c.LQEntries = 0 }, "queue"},
+		{"zero SQ", func(c *Config) { c.SQEntries = 0 }, "queue"},
+		{"zero ALUs", func(c *Config) { c.ALUs = 0 }, "unit"},
+		{"zero load ports", func(c *Config) { c.LoadPorts = 0 }, "unit"},
+		{"zero store ports", func(c *Config) { c.StorePort = 0 }, "unit"},
+		{"zero BHB", func(c *Config) { c.BHBLen = 0 }, "BHBLen"},
+		{"zero LFB", func(c *Config) { c.LFBEntries = 0 }, "LFBEntries"},
+		{"zero MSHRs", func(c *Config) { c.MSHRs = 0 }, "MSHRs"},
+		{"zero ghost buffer", func(c *Config) { c.GhostSize = 0 }, "GhostSize"},
+		{"zero L1I latency", func(c *Config) { c.L1ILatency = 0 }, "latencies"},
+		{"zero L1D latency", func(c *Config) { c.L1DLatency = 0 }, "latencies"},
+		{"zero L2 latency", func(c *Config) { c.L2Latency = 0 }, "latencies"},
+		{"zero DRAM latency", func(c *Config) { c.DRAMLatency = 0 }, "DRAMLatency"},
+		{"non-64B lines", func(c *Config) { c.LineBytes = 32 }, "LineBytes"},
+		{"ragged L1D geometry", func(c *Config) { c.L1DWays = 3 }, "L1D geometry"},
+		{"ragged L2 geometry", func(c *Config) { c.L2Ways = 7 }, "L2 geometry"},
 	}
-	bad = DefaultConfig()
-	bad.LineBytes = 32
-	if bad.Validate() == nil {
-		t.Error("non-64B lines must fail")
+	for _, tc := range cases {
+		c := DefaultConfig()
+		tc.mutate(&c)
+		err := c.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name %q", tc.name, err, tc.want)
+		}
 	}
-	bad = DefaultConfig()
-	bad.ROBEntries = 1
-	if bad.Validate() == nil {
-		t.Error("tiny ROB must fail")
+	if c := DefaultConfig(); c.Validate() != nil {
+		t.Error("default config must validate")
+	}
+}
+
+// ParseMitigation is case-insensitive and its error lists the registered
+// names.
+func TestParseMitigationCaseInsensitive(t *testing.T) {
+	for _, in := range []string{"specasan", "SPECASAN", "SpecASan", "sPeCaSaN"} {
+		m, err := ParseMitigation(in)
+		if err != nil || m != SpecASan {
+			t.Errorf("ParseMitigation(%q) = %v, %v", in, m, err)
+		}
+	}
+	if m, err := ParseMitigation("specasan+cfi"); err != nil || m != SpecASanCFI {
+		t.Errorf("ParseMitigation(specasan+cfi) = %v, %v", m, err)
+	}
+	_, err := ParseMitigation("bogus")
+	if err == nil || !strings.Contains(err.Error(), "SpecASan") {
+		t.Errorf("unknown-name error should list registered names, got %v", err)
+	}
+}
+
+// The registry: new policies resolve by name, carry their descriptor bits
+// and knobs, and cannot collide with registered names.
+func TestPolicyRegistry(t *testing.T) {
+	m, err := RegisterPolicy(PolicyDescriptor{
+		Name:  "TestPolicy",
+		Class: "test",
+		Taint: true,
+		Knobs: map[string]uint64{"k": 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.String() != "TestPolicy" {
+		t.Errorf("String() = %q", m)
+	}
+	got, err := ParseMitigation("testpolicy")
+	if err != nil || got != m {
+		t.Fatalf("registered policy does not resolve: %v, %v", got, err)
+	}
+	d := m.Descriptor()
+	if !d.Taint || d.MTE || d.Knob("k", 0) != 7 || d.Knob("missing", 42) != 42 {
+		t.Errorf("descriptor wrong: %+v", d)
+	}
+	if !m.TaintTracking() || m.MTEEnabled() {
+		t.Error("property methods must delegate to the descriptor")
+	}
+	if _, err := RegisterPolicy(PolicyDescriptor{Name: "testpolicy"}); err == nil {
+		t.Error("duplicate name (case-insensitive) accepted")
+	}
+	if _, err := RegisterPolicy(PolicyDescriptor{Name: ""}); err == nil {
+		t.Error("empty name accepted")
+	}
+	found := false
+	for _, r := range RegisteredMitigations() {
+		if r == m {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("RegisteredMitigations misses the new policy")
+	}
+	for i, want := range []Mitigation{Unsafe, MTE, Fence, STT, GhostMinion, SpecCFI, SpecASan, SpecASanCFI} {
+		if AllMitigations()[i] != want {
+			t.Errorf("AllMitigations()[%d] = %v, want %v (paper set must stay fixed)", i, AllMitigations()[i], want)
+		}
 	}
 }
 

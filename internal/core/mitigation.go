@@ -10,15 +10,24 @@
 // exercise the state machine standalone.
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
 
-// Mitigation selects the transient-execution defence configuration of a
-// simulated machine.
+// Mitigation identifies a registered transient-execution defence
+// configuration. It is an index into the policy registry; the configuration
+// itself — which pipeline gates a defence arms, and with what knobs — lives
+// in the Mitigation's PolicyDescriptor, not in code. New defences are added
+// by registering a descriptor (RegisterPolicy), never by adding switch
+// cases: every consumer reads descriptor bits.
 type Mitigation uint8
 
-// Mitigation configurations. Unsafe is the paper's normalisation baseline
-// (no MTE, no speculation restrictions). MTE enforces tag checks on the
-// committed path only — the pre-SpecASan status quo.
+// The paper's eight defence configurations, pre-registered in presentation
+// order. Unsafe is the normalisation baseline (no MTE, no speculation
+// restrictions). MTE enforces tag checks on the committed path only — the
+// pre-SpecASan status quo.
 const (
 	Unsafe Mitigation = iota
 	MTE
@@ -31,65 +40,191 @@ const (
 	NumMitigations
 )
 
-var mitigationNames = [NumMitigations]string{
-	Unsafe: "Unsafe", MTE: "MTE", Fence: "SpecBarrier", STT: "STT",
-	GhostMinion: "GhostMinion", SpecCFI: "SpecCFI", SpecASan: "SpecASan",
-	SpecASanCFI: "SpecASan+CFI",
+// PolicyDescriptor is one defence configuration as data. The boolean fields
+// are the pipeline gates a policy arms; Knobs carries per-policy tuning
+// values. internal/cpu and internal/cache read these bits — descriptor
+// identity (the Mitigation index) never drives behaviour.
+type PolicyDescriptor struct {
+	// Name is the display and parse name ("SpecASan", "SpecBarrier", ...).
+	// Parsing is case-insensitive; the canonical spelling is what String
+	// prints and what sweep tables show as the column header.
+	Name string `json:"name"`
+	// Class is the Figure 1 defence-class label ("delay ACCESS",
+	// "delay USE", "delay TRANSMIT", ...), for taxonomy tables.
+	Class string `json:"class"`
+
+	// MTE enables platform tag checks at all: tag-storage fetches and
+	// committed-path faults. Workload builders key tagged-heap codegen off
+	// this bit.
+	MTE bool `json:"mte,omitempty"`
+	// SpecTagChecks gates the *speculative* path on tag checks — the
+	// SpecASan mechanism itself (Figure 4 state machine, G1-G3).
+	SpecTagChecks bool `json:"spec_tag_checks,omitempty"`
+	// FenceLoads delays every load until all older control speculation
+	// resolves (the delay-ACCESS barrier baseline).
+	FenceLoads bool `json:"fence_loads,omitempty"`
+	// Taint activates STT dataflow taint tracking (delay-USE).
+	Taint bool `json:"taint,omitempty"`
+	// GhostFills redirects speculative fills to the ghost buffer instead of
+	// the cache hierarchy (GhostMinion, delay-TRANSMIT).
+	GhostFills bool `json:"ghost_fills,omitempty"`
+	// CFI validates speculative control-flow targets (SpecCFI).
+	CFI bool `json:"cfi,omitempty"`
+	// DelayOnMiss holds speculative loads that miss the L1D until
+	// speculation resolves; hits proceed (the DoM defence class). Knob
+	// "lfb_hit_ok" (default 1) additionally lets loads whose line is
+	// already in flight in the LFB proceed.
+	DelayOnMiss bool `json:"delay_on_miss,omitempty"`
+
+	// Knobs holds per-policy tuning values by name. Use Knob to read one
+	// with a default. Keys marshal sorted, so descriptors hash canonically.
+	Knobs map[string]uint64 `json:"knobs,omitempty"`
+}
+
+// Knob returns the named knob value, or def when the knob is absent.
+func (d *PolicyDescriptor) Knob(name string, def uint64) uint64 {
+	if v, ok := d.Knobs[name]; ok {
+		return v
+	}
+	return def
+}
+
+// registry holds every registered policy. Descriptors are stored behind
+// pointers so Descriptor results stay valid across registrations. The lock
+// guards registration (init-time in practice) against concurrent readers in
+// parallel sweep workers.
+var registry = struct {
+	sync.RWMutex
+	descs  []*PolicyDescriptor
+	byName map[string]Mitigation // lower-cased name -> id
+}{byName: make(map[string]Mitigation)}
+
+func init() {
+	for _, d := range []PolicyDescriptor{
+		{Name: "Unsafe", Class: "none"},
+		{Name: "MTE", Class: "committed-path tags", MTE: true},
+		{Name: "SpecBarrier", Class: "delay ACCESS", FenceLoads: true},
+		{Name: "STT", Class: "delay USE", Taint: true},
+		{Name: "GhostMinion", Class: "delay TRANSMIT", GhostFills: true},
+		{Name: "SpecCFI", Class: "restrict speculative CF", CFI: true},
+		{Name: "SpecASan", Class: "delay unsafe ACCESS", MTE: true, SpecTagChecks: true},
+		{Name: "SpecASan+CFI", Class: "delay unsafe ACCESS + CFI", MTE: true, SpecTagChecks: true, CFI: true},
+	} {
+		MustRegisterPolicy(d)
+	}
+}
+
+// RegisterPolicy adds a defence configuration to the registry and returns
+// its Mitigation id. Names are unique case-insensitively; registering a
+// duplicate or empty name is an error. Register at init time — ids are
+// process-global and appear in sweep output in registration order.
+func RegisterPolicy(d PolicyDescriptor) (Mitigation, error) {
+	if d.Name == "" {
+		return 0, fmt.Errorf("policy registry: empty name")
+	}
+	key := strings.ToLower(d.Name)
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.byName[key]; dup {
+		return 0, fmt.Errorf("policy registry: %q already registered", d.Name)
+	}
+	if len(registry.descs) > 250 {
+		return 0, fmt.Errorf("policy registry: full")
+	}
+	id := Mitigation(len(registry.descs))
+	dc := d // copy; the registry owns its descriptor
+	registry.descs = append(registry.descs, &dc)
+	registry.byName[key] = id
+	return id, nil
+}
+
+// MustRegisterPolicy is RegisterPolicy, panicking on error (init-time use).
+func MustRegisterPolicy(d PolicyDescriptor) Mitigation {
+	id, err := RegisterPolicy(d)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Descriptor returns the mitigation's registered configuration. Unknown ids
+// return the Unsafe descriptor (defensive: a Mitigation value is always
+// produced by this package's constants, parsing, or registration).
+func (m Mitigation) Descriptor() *PolicyDescriptor {
+	registry.RLock()
+	defer registry.RUnlock()
+	if int(m) < len(registry.descs) {
+		return registry.descs[m]
+	}
+	return registry.descs[Unsafe]
 }
 
 // String returns the mitigation's display name.
 func (m Mitigation) String() string {
-	if m < NumMitigations {
-		return mitigationNames[m]
+	registry.RLock()
+	defer registry.RUnlock()
+	if int(m) < len(registry.descs) {
+		return registry.descs[m].Name
 	}
 	return fmt.Sprintf("Mitigation(%d)", uint8(m))
 }
 
-// ParseMitigation resolves a display name back to a Mitigation.
+// ParseMitigation resolves a display name back to a Mitigation. Matching is
+// case-insensitive ("specasan", "SPECASAN" and "SpecASan" are the same
+// policy); the error lists the registered names.
 func ParseMitigation(s string) (Mitigation, error) {
-	for m := Mitigation(0); m < NumMitigations; m++ {
-		if mitigationNames[m] == s {
-			return m, nil
-		}
+	registry.RLock()
+	defer registry.RUnlock()
+	if id, ok := registry.byName[strings.ToLower(strings.TrimSpace(s))]; ok {
+		return id, nil
 	}
-	return 0, fmt.Errorf("unknown mitigation %q", s)
+	names := make([]string, len(registry.descs))
+	for i, d := range registry.descs {
+		names[i] = d.Name
+	}
+	return 0, fmt.Errorf("unknown mitigation %q (registered: %s)", s, strings.Join(names, ", "))
 }
 
 // MTEEnabled reports whether the platform performs MTE tag checks at all
 // (tag-storage fetches, committed-path faults).
-func (m Mitigation) MTEEnabled() bool {
-	switch m {
-	case MTE, SpecASan, SpecASanCFI:
-		return true
-	}
-	return false
-}
+func (m Mitigation) MTEEnabled() bool { return m.Descriptor().MTE }
 
 // SpecTagChecks reports whether tag checks gate the *speculative* path —
 // the SpecASan mechanism itself.
-func (m Mitigation) SpecTagChecks() bool {
-	return m == SpecASan || m == SpecASanCFI
-}
+func (m Mitigation) SpecTagChecks() bool { return m.Descriptor().SpecTagChecks }
 
 // FencesSpeculativeLoads reports whether every load is delayed until all
 // older control speculation resolves (the delay-ACCESS barrier baseline).
-func (m Mitigation) FencesSpeculativeLoads() bool { return m == Fence }
+func (m Mitigation) FencesSpeculativeLoads() bool { return m.Descriptor().FenceLoads }
 
 // TaintTracking reports whether STT dataflow taint is active.
-func (m Mitigation) TaintTracking() bool { return m == STT }
+func (m Mitigation) TaintTracking() bool { return m.Descriptor().Taint }
 
 // GhostFills reports whether speculative fills are redirected to the ghost
 // buffer instead of the cache hierarchy.
-func (m Mitigation) GhostFills() bool { return m == GhostMinion }
+func (m Mitigation) GhostFills() bool { return m.Descriptor().GhostFills }
 
 // CFIEnabled reports whether speculative control-flow targets are validated.
-func (m Mitigation) CFIEnabled() bool {
-	return m == SpecCFI || m == SpecASanCFI
-}
+func (m Mitigation) CFIEnabled() bool { return m.Descriptor().CFI }
 
-// AllMitigations lists every configuration, in presentation order.
+// AllMitigations lists the paper's eight defence configurations, in
+// presentation order. Policies registered beyond the builtins (ablation or
+// experimental defences) are listed by RegisteredMitigations instead, so the
+// paper's tables keep their exact column sets.
 func AllMitigations() []Mitigation {
 	out := make([]Mitigation, NumMitigations)
+	for i := range out {
+		out[i] = Mitigation(i)
+	}
+	return out
+}
+
+// RegisteredMitigations lists every registered policy — builtins plus
+// registry additions — in registration order.
+func RegisteredMitigations() []Mitigation {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]Mitigation, len(registry.descs))
 	for i := range out {
 		out[i] = Mitigation(i)
 	}

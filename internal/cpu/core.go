@@ -263,7 +263,9 @@ type Core struct {
 	// promoted to the oracle when the instruction is squashed.
 	candidates map[uint64][]core.LeakEvent
 
-	// cached policy flags
+	// Cached policy-descriptor bits (core.PolicyDescriptor): the active
+	// mitigation's gates, flattened once at construction so the per-cycle
+	// paths read plain bools. selectiveDly is a machine-config knob.
 	mteOn        bool
 	specChecks   bool
 	taintOn      bool
@@ -271,6 +273,8 @@ type Core struct {
 	cfiOn        bool
 	fenceOn      bool
 	selectiveDly bool
+	domOn        bool // delay-on-miss: hold speculative L1D-miss loads
+	domLFBHit    bool // delay-on-miss knob: an in-flight LFB line counts as a hit
 
 	// Incremental rename/wakeup structures. The rename map table (rat) maps
 	// each architectural register to its youngest in-flight producer (0 =
@@ -338,6 +342,7 @@ type fetchedInst struct {
 func NewCore(id int, cfg *core.Config, mit core.Mitigation, prog *asm.Program,
 	hier *cache.Hierarchy, img *mem.Image, oracle *core.Oracle, tagSeed uint64) *Core {
 
+	pol := mit.Descriptor()
 	c := &Core{
 		ID:      id,
 		cfg:     cfg,
@@ -357,13 +362,15 @@ func NewCore(id int, cfg *core.Config, mit core.Mitigation, prog *asm.Program,
 		tagSeed: tagSeed,
 		Stats:   stats.NewSet("core"),
 
-		mteOn:        mit.MTEEnabled(),
-		specChecks:   mit.SpecTagChecks(),
-		taintOn:      mit.TaintTracking(),
-		ghostOn:      mit.GhostFills(),
-		cfiOn:        mit.CFIEnabled(),
-		fenceOn:      mit.FencesSpeculativeLoads(),
+		mteOn:        pol.MTE,
+		specChecks:   pol.SpecTagChecks,
+		taintOn:      pol.Taint,
+		ghostOn:      pol.GhostFills,
+		cfiOn:        pol.CFI,
+		fenceOn:      pol.FenceLoads,
 		selectiveDly: cfg.SelectiveDelay,
+		domOn:        pol.DelayOnMiss,
+		domLFBHit:    pol.Knob("lfb_hit_ok", 1) != 0,
 	}
 	c.robMask = uint64(len(c.rob) - 1)
 	// Pre-size the incremental queues and the fetch buffer so the steady

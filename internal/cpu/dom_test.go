@@ -1,0 +1,92 @@
+package cpu
+
+import (
+	"testing"
+
+	"specasan/internal/core"
+	"specasan/internal/isa"
+)
+
+// domTestPolicy is a delay-on-miss defence registered purely as data: the
+// pipeline has no case naming it — the issue gate reads the DelayOnMiss
+// descriptor bit. This is the registry seam the scenario layer's DelayOnMiss
+// policy uses; the test registers its own copy so internal/cpu needs no
+// import of internal/scenario (which imports chaos, which imports cpu).
+var domTestPolicy = core.MustRegisterPolicy(core.PolicyDescriptor{
+	Name:        "dom-test",
+	Class:       "delay miss ACCESS",
+	DelayOnMiss: true,
+	Knobs:       map[string]uint64{"lfb_hit_ok": 1},
+})
+
+// A speculative load that misses the L1D must be held until speculation
+// resolves: the run pays cycles, counts policy_block_dom, accounts the held
+// loads as restricted commits — and still computes the right answer. The
+// loop branch compares the loaded value, so each iteration's load issues
+// under an unresolved branch and targets a cold line (stride 64, no warmup).
+func TestDelayOnMissHoldsMisses(t *testing.T) {
+	src := `
+_start:
+    ADR X0, buf
+    MOV X1, #0
+loop:
+    LDR X2, [X0]
+    ADD X0, X0, #64
+    ADD X1, X1, #1
+    CMP X1, #32
+    B.GE done
+    CMP X2, #1
+    B.LT loop
+done:
+    SVC #0
+    .org 0x40000
+buf:
+    .space 4096
+`
+	base := runToHalt(t, newMachine(t, core.Unsafe, src))
+	dom := newMachine(t, domTestPolicy, src)
+	res := runToHalt(t, dom)
+	if got := dom.Core(0).Reg(isa.X1); got != 32 {
+		t.Fatalf("loop count under DoM = %d, want 32", got)
+	}
+	if res.Stats.Get("policy_block_dom") == 0 {
+		t.Fatal("cold speculative loads must be held at least one cycle")
+	}
+	if res.Stats.Get("restricted_commits") == 0 {
+		t.Fatal("held loads must be accounted as restricted commits")
+	}
+	if res.Cycles <= base.Cycles {
+		t.Fatalf("DoM run took %d cycles, baseline %d — holding misses must cost time",
+			res.Cycles, base.Cycles)
+	}
+}
+
+// Speculative loads that HIT must proceed: a hot loop re-reading one cache
+// line pays only its cold miss under DoM. If hits were held too, each of the
+// 200 iterations would stall on branch resolution and the run would balloon
+// by thousands of cycles.
+func TestDelayOnMissHitsProceed(t *testing.T) {
+	src := `
+_start:
+    ADR X0, buf
+    MOV X1, #0
+    MOV X3, #0
+loop:
+    LDR X2, [X0]
+    ADD X3, X3, X2
+    ADD X1, X1, #1
+    CMP X1, #200
+    B.LT loop
+    SVC #0
+    .org 0x40000
+buf:
+    .space 64
+`
+	base := runToHalt(t, newMachine(t, core.Unsafe, src))
+	res := runToHalt(t, newMachine(t, domTestPolicy, src))
+	extra := int64(res.Cycles) - int64(base.Cycles)
+	if extra > 600 {
+		t.Fatalf("hot-loop DoM overhead %d cycles (baseline %d): hits are being held",
+			extra, base.Cycles)
+	}
+}

@@ -104,6 +104,7 @@ func NewMachine(cfg core.Config, mit core.Mitigation, prog *asm.Program) (*Machi
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	pol := mit.Descriptor()
 	img := mem.NewImage()
 	img.LoadProgram(prog)
 	oracle := core.NewOracle()
@@ -115,10 +116,10 @@ func NewMachine(cfg core.Config, mit core.Mitigation, prog *asm.Program) (*Machi
 		LineBytes: cfg.LineBytes, LFBEntries: cfg.LFBEntries, MSHRs: cfg.MSHRs,
 		GhostSize: cfg.GhostSize, LoadPorts: cfg.LoadPorts,
 		DRAM:            mem.DRAMConfig{Latency: cfg.DRAMLatency, BurstCycles: cfg.DRAMBurst, TagBurst: cfg.TagBurst},
-		MTEOn:           mit.MTEEnabled(),
-		LFBTagging:      mit.SpecTagChecks() && cfg.LFBTagging,
+		MTEOn:           pol.MTE,
+		LFBTagging:      pol.SpecTagChecks && cfg.LFBTagging,
 		PrefetcherOn:    cfg.PrefetcherOn,
-		PrefetchChecked: cfg.PrefetchChecked && mit.SpecTagChecks(),
+		PrefetchChecked: cfg.PrefetchChecked && pol.SpecTagChecks,
 	}, img)
 	if err != nil {
 		return nil, err

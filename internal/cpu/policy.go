@@ -52,6 +52,23 @@ func (c *Core) policyBlocksIssue(e *robEntry) (bool, string) {
 			return true, "policy_block_delay_all"
 		}
 	}
+
+	// Delay-on-Miss (descriptor bit, no enum case anywhere): a speculative
+	// load whose line is not already present in the L1D — nor, under the
+	// default lfb_hit_ok knob, in flight in the LFB — is held until
+	// speculation resolves. Hits proceed, so only accesses that would
+	// change observable fill state pay; the probe itself is side-effect
+	// free (no ports, no LRU, no fills).
+	if c.domOn && e.isLoad && c.speculative(e) {
+		rn, _ := c.readSource2(e, in.Rn)
+		rm := uint64(0)
+		if !in.HasImm {
+			rm, _ = c.readSource2(e, in.Rm)
+		}
+		if !c.hier.Probe(c.ID, isa.EffAddr(in, rn, rm), c.cycle, c.domLFBHit) {
+			return true, "policy_block_dom"
+		}
+	}
 	return false, ""
 }
 

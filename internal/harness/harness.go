@@ -54,6 +54,13 @@ type Options struct {
 	// SkipIdle). Skipping is exactness-preserving, so this only trades
 	// speed for a cycle-by-cycle walk — useful for A/B determinism checks.
 	NoSkipIdle bool
+	// Config, when set, is the machine configuration every run uses (its
+	// Cores field is overridden per workload); nil means core.DefaultConfig.
+	// Scenario-driven runs set this to the scenario's Machine.
+	Config *core.Config
+	// ScenarioHash, when set, is stamped into every metrics record this run
+	// emits — the canonical content hash of the effective scenario.
+	ScenarioHash string
 }
 
 // DefaultOptions are suitable for the command-line tools.
@@ -85,6 +92,9 @@ func RunBenchmark(spec *workloads.Spec, mit core.Mitigation, opt Options) (*Perf
 		return nil, fmt.Errorf("%s: %w", spec.Name, err)
 	}
 	cfg := core.DefaultConfig()
+	if opt.Config != nil {
+		cfg = *opt.Config
+	}
 	cfg.Cores = spec.Threads
 	m, err := cpu.NewMachine(cfg, mit, prog)
 	if err != nil {
@@ -119,8 +129,9 @@ func RunBenchmark(spec *workloads.Spec, mit core.Mitigation, opt Options) (*Perf
 	opt.logf("  %-18s %-12s cycles=%-10d ipc=%.2f restricted=%d",
 		spec.Name, mit, res.Cycles, res.IPC(), res.Stats.Get("restricted_commits"))
 	if met != nil {
-		if err := obs.WriteMetricsLine(opt.Metrics,
-			met.Record(spec.Name, mit.String(), res.Cycles, res.Committed)); err != nil {
+		rec := met.Record(spec.Name, mit.String(), res.Cycles, res.Committed)
+		rec.ScenarioHash = opt.ScenarioHash
+		if err := obs.WriteMetricsLine(opt.Metrics, rec); err != nil {
 			return nil, fmt.Errorf("%s under %v: writing metrics: %w", spec.Name, mit, err)
 		}
 	}

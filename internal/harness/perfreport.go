@@ -80,8 +80,13 @@ type SweepPerf struct {
 // numbers of a past `specasan-bench -perf` run, kept when the report is
 // regenerated so BENCH_sim.json records progress instead of overwriting it.
 type PerfHistoryEntry struct {
-	GeneratedAt    string  `json:"generated_at"`
-	Description    string  `json:"description,omitempty"`
+	GeneratedAt string `json:"generated_at"`
+	Description string `json:"description,omitempty"`
+	// ScenarioHash identifies the scenario the sweep leg ran under
+	// (internal/scenario canonical hash). Entries recorded before the
+	// scenario layer have none; the regression gate treats a hash mismatch
+	// (including legacy-empty) as incomparable and skips with a notice.
+	ScenarioHash   string  `json:"scenario_hash,omitempty"`
 	HostNsPerCycle float64 `json:"host_ns_per_simulated_cycle"`
 	SimMIPS        float64 `json:"simulated_mips"`
 	SweepSpeedup   float64 `json:"sweep_speedup_vs_serial"`
@@ -94,6 +99,7 @@ type PerfHistoryEntry struct {
 type PerfReport struct {
 	Schema            string         `json:"schema"`
 	GeneratedAt       string         `json:"generated_at"`
+	ScenarioHash      string         `json:"scenario_hash,omitempty"`
 	GoMaxProcs        int            `json:"gomaxprocs"`
 	SingleCore        SingleCorePerf `json:"single_core"`
 	Sweep             SweepPerf      `json:"sweep"`
@@ -109,6 +115,7 @@ func (r *PerfReport) HistoryEntry(description string) PerfHistoryEntry {
 	return PerfHistoryEntry{
 		GeneratedAt:    r.GeneratedAt,
 		Description:    description,
+		ScenarioHash:   r.ScenarioHash,
 		HostNsPerCycle: r.SingleCore.HostNsPerCycle,
 		SimMIPS:        r.SingleCore.SimMIPS,
 		SweepSpeedup:   r.Sweep.Speedup,
@@ -281,9 +288,10 @@ func MeasurePerf(steps uint64, specs []*workloads.Spec, mits []core.Mitigation, 
 	}
 	base := ReferenceBaseline()
 	rep := &PerfReport{
-		Schema:      PerfSchema,
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Schema:       PerfSchema,
+		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+		ScenarioHash: opt.ScenarioHash,
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
 		SingleCore:  single,
 		Sweep:       sweep,
 		Baseline:    base,
@@ -304,6 +312,46 @@ func (r *PerfReport) AppendHistory(path, description string) error {
 	}
 	r.History = append(hist, r.HistoryEntry(description))
 	return nil
+}
+
+// PerfRegressFactor is the host-ns-per-cycle growth the regression gate
+// tolerates between consecutive comparable history entries (matches CI's
+// 25% MachineStep smoke threshold).
+const PerfRegressFactor = 1.25
+
+// RegressionVsPrevious compares the report's own history entry (the last
+// one; call after AppendHistory) against the most recent prior entry. It
+// returns a human-readable notice and whether the gate should fail.
+//
+// The comparison only holds when both entries measured the same scenario:
+// when the reference entry carries a different scenario hash — including the
+// empty hash of entries recorded before the scenario layer — the gate skips
+// with a visible notice instead of comparing incomparable runs.
+func (r *PerfReport) RegressionVsPrevious() (notice string, regressed bool) {
+	n := len(r.History)
+	if n < 2 {
+		return "perf gate: no prior history entry; nothing to compare", false
+	}
+	cur, prev := r.History[n-1], r.History[n-2]
+	if prev.ScenarioHash != cur.ScenarioHash {
+		return fmt.Sprintf(
+			"perf gate: SKIPPED — reference entry (%s) was produced under scenario %q, this run under %q; not comparable",
+			prev.GeneratedAt, orUnstamped(prev.ScenarioHash), orUnstamped(cur.ScenarioHash)), false
+	}
+	if prev.HostNsPerCycle > 0 && cur.HostNsPerCycle > prev.HostNsPerCycle*PerfRegressFactor {
+		return fmt.Sprintf(
+			"perf gate: REGRESSED — %.0f ns/cycle vs %.0f reference (>%.0f%% growth)",
+			cur.HostNsPerCycle, prev.HostNsPerCycle, (PerfRegressFactor-1)*100), true
+	}
+	return fmt.Sprintf("perf gate: ok — %.0f ns/cycle vs %.0f reference (scenario %s)",
+		cur.HostNsPerCycle, prev.HostNsPerCycle, orUnstamped(cur.ScenarioHash)), false
+}
+
+func orUnstamped(hash string) string {
+	if hash == "" {
+		return "unstamped (pre-scenario)"
+	}
+	return hash
 }
 
 // WriteJSON writes the report to path, pretty-printed with a trailing

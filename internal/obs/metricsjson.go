@@ -29,12 +29,16 @@ type HistSummary struct {
 // MetricsRecord is one JSONL line: which cell produced it plus every
 // registered histogram in registration order.
 type MetricsRecord struct {
-	Schema     string        `json:"schema"`
-	Bench      string        `json:"bench"`
-	Mitigation string        `json:"mitigation"`
-	Cycles     uint64        `json:"cycles,omitempty"`
-	Insts      uint64        `json:"insts,omitempty"`
-	Histograms []HistSummary `json:"histograms"`
+	Schema     string `json:"schema"`
+	Bench      string `json:"bench"`
+	Mitigation string `json:"mitigation"`
+	// ScenarioHash is the canonical content hash of the scenario that
+	// produced this record (internal/scenario), empty for ad-hoc runs.
+	// omitempty keeps pre-scenario streams byte-identical.
+	ScenarioHash string        `json:"scenario_hash,omitempty"`
+	Cycles       uint64        `json:"cycles,omitempty"`
+	Insts        uint64        `json:"insts,omitempty"`
+	Histograms   []HistSummary `json:"histograms"`
 }
 
 // Summaries exports every registered histogram in registration order.

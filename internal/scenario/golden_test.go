@@ -1,0 +1,60 @@
+package scenario
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false,
+	"rewrite examples/scenarios/scenarios.sum from the current files")
+
+const (
+	exampleDir = "../../examples/scenarios"
+	sumFile    = exampleDir + "/scenarios.sum"
+)
+
+// TestExampleScenarioGoldenHashes validates every checked-in example
+// scenario and pins its canonical content hash: each file must load (strict
+// decode + Validate) and hash to exactly the value recorded in
+// scenarios.sum. A hash drift means either the file changed (update the sum
+// deliberately, with `go test ./internal/scenario -update`) or the hashing/
+// layering semantics changed (which silently orphans every recorded result —
+// fix the code, not the sum).
+func TestExampleScenarioGoldenHashes(t *testing.T) {
+	files, err := filepath.Glob(exampleDir + "/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no example scenarios in %s", exampleDir)
+	}
+	sort.Strings(files)
+	var b strings.Builder
+	for _, f := range files {
+		s, err := LoadFile(f)
+		if err != nil {
+			t.Fatalf("example scenario rejected: %v", err)
+		}
+		fmt.Fprintf(&b, "%s  %s\n", s.Hash(), filepath.Base(f))
+	}
+	got := b.String()
+	if *updateGolden {
+		if err := os.WriteFile(sumFile, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", sumFile)
+		return
+	}
+	want, err := os.ReadFile(sumFile)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/scenario -update` to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("scenario hashes drifted from %s:\n--- recorded\n%s--- computed\n%s", sumFile, want, got)
+	}
+}

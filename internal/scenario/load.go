@@ -1,0 +1,76 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Load resolves a -scenario argument: a preset name (case-insensitive) or a
+// path to a scenario file. The result is validated.
+func Load(nameOrPath string) (*Scenario, error) {
+	if s, ok := Preset(nameOrPath); ok {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("preset %q: %w", nameOrPath, err)
+		}
+		return s, nil
+	}
+	if _, err := os.Stat(nameOrPath); err != nil {
+		return nil, fmt.Errorf("scenario: %q is neither a preset (%s) nor a readable file",
+			nameOrPath, strings.Join(PresetNames(), ", "))
+	}
+	return LoadFile(nameOrPath)
+}
+
+// LoadFile reads a scenario file and layers it over its base preset: the
+// file's "extends" field names the preset ("table2" when absent); only the
+// fields the file spells out override the base. Unknown fields are an error
+// (strict decode), so a typo'd knob fails loudly instead of silently running
+// the base value. The scenario takes its name from the file when the file
+// names itself, else from the file's basename.
+func LoadFile(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	// First pass: provenance fields only, to pick the base and to learn
+	// whether the file names itself.
+	var peek struct {
+		Name    *string `json:"name"`
+		Extends string  `json:"extends"`
+	}
+	if err := json.Unmarshal(data, &peek); err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", path, err)
+	}
+	baseName := peek.Extends
+	if baseName == "" {
+		baseName = PresetTable2
+	}
+	s, ok := Preset(baseName)
+	if !ok {
+		return nil, fmt.Errorf("scenario %s: extends unknown preset %q (have %s)",
+			path, baseName, strings.Join(PresetNames(), ", "))
+	}
+	// Second pass: strict-decode the file over the populated base, so JSON
+	// merge semantics apply — absent fields keep their preset values.
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(s); err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", path, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("scenario %s: trailing data after document", path)
+	}
+	s.Extends = baseName
+	if peek.Name == nil {
+		name := filepath.Base(path)
+		s.Name = strings.TrimSuffix(name, filepath.Ext(name))
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", path, err)
+	}
+	return s, nil
+}

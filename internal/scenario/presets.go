@@ -1,0 +1,112 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"specasan/internal/core"
+	"specasan/internal/workloads"
+)
+
+// DelayOnMiss is the delay-on-miss defence (DoM class: speculative loads
+// that miss the L1D are held until speculation resolves; hits proceed).
+// It exists purely as registry data — a descriptor bit plus one issue-gate
+// hook in internal/cpu reads it; no enum case anywhere names it. It is the
+// proof of the policy-registry seam: a ninth defence wired into the sweep
+// matrix (the "ablations" preset) without touching a switch.
+var DelayOnMiss = core.MustRegisterPolicy(core.PolicyDescriptor{
+	Name:        "DelayOnMiss",
+	Class:       "delay miss ACCESS",
+	DelayOnMiss: true,
+	Knobs:       map[string]uint64{"lfb_hit_ok": 1},
+})
+
+// Preset names. Each returns a complete, validated scenario; `extends` in a
+// scenario file and -scenario on the CLIs accept these names.
+const (
+	PresetTable2     = "table2"
+	PresetFigure6    = "figure6"
+	PresetFigure7    = "figure7"
+	PresetFigure8    = "figure8"
+	PresetFigure9    = "figure9"
+	PresetAblations  = "ablations"
+	PresetChaosSmoke = "chaos-smoke"
+)
+
+// Default returns the table2 preset: the paper's machine under every paper
+// defence over the SPEC suite — the base every other layer overrides.
+func Default() *Scenario { s, _ := Preset(PresetTable2); return s }
+
+// Preset returns a fresh copy of the named preset (case-insensitive), or
+// ok=false. Copies are deep enough to mutate freely: slices are built per
+// call.
+func Preset(name string) (*Scenario, bool) {
+	base := func(n string, mits []core.Mitigation, specs []*workloads.Spec) *Scenario {
+		return &Scenario{
+			Version:     Version,
+			Name:        n,
+			Machine:     core.DefaultConfig(),
+			Mitigations: MitigationNames(mits),
+			Workloads:   WorkloadNames(specs),
+			Run:         DefaultRunOptions(),
+		}
+	}
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case PresetTable2:
+		return base(PresetTable2, core.AllMitigations(), workloads.SPEC()), true
+	case PresetFigure6:
+		return base(PresetFigure6, figure6Mitigations(), workloads.SPEC()), true
+	case PresetFigure7:
+		return base(PresetFigure7, figure6Mitigations(), workloads.PARSEC()), true
+	case PresetFigure8:
+		return base(PresetFigure8,
+			[]core.Mitigation{core.Unsafe, core.Fence, core.STT, core.SpecASan},
+			append(workloads.SPEC(), workloads.PARSEC()...)), true
+	case PresetFigure9:
+		return base(PresetFigure9,
+			[]core.Mitigation{core.Unsafe, core.SpecCFI, core.SpecASan, core.SpecASanCFI},
+			workloads.SPEC()), true
+	case PresetAblations:
+		// The registry-extension matrix: SpecASan against the ninth,
+		// registry-registered defence, normalised to the Unsafe baseline.
+		return base(PresetAblations,
+			[]core.Mitigation{core.Unsafe, core.SpecASan, DelayOnMiss},
+			workloads.SPEC()), true
+	case PresetChaosSmoke:
+		s := base(PresetChaosSmoke,
+			[]core.Mitigation{core.Unsafe, core.SpecASan},
+			mustWorkloads("511.povray_r", "505.mcf_r", "541.leela_r"))
+		s.Run.Scale = 0.02
+		s.Run.MaxCycles = 100_000_000
+		s.Chaos = &ChaosOptions{
+			Seeds: 8, Seed0: 1, Rate: 0.02, MaxLatency: 200, VerdictSeeds: 2,
+		}
+		return s, true
+	}
+	return nil, false
+}
+
+// PresetNames lists the available presets, sorted.
+func PresetNames() []string {
+	names := []string{PresetTable2, PresetFigure6, PresetFigure7, PresetFigure8,
+		PresetFigure9, PresetAblations, PresetChaosSmoke}
+	sort.Strings(names)
+	return names
+}
+
+// figure6Mitigations are the defence columns of Figures 6 and 7.
+func figure6Mitigations() []core.Mitigation {
+	return []core.Mitigation{core.Unsafe, core.Fence, core.STT,
+		core.GhostMinion, core.SpecASan}
+}
+
+func mustWorkloads(names ...string) []*workloads.Spec {
+	out := make([]*workloads.Spec, len(names))
+	for i, n := range names {
+		if out[i] = workloads.ByName(n); out[i] == nil {
+			panic(fmt.Sprintf("scenario preset: unknown workload %q", n))
+		}
+	}
+	return out
+}

@@ -1,0 +1,308 @@
+// Package scenario is the declarative configuration layer of the
+// reproduction: one Scenario value captures everything a run depends on —
+// the simulated machine (Table 2 fields), the defence policies under test,
+// the workload set, and the run/observability options — as a typed,
+// versioned, JSON-serializable document with strict validation and a
+// canonical content hash.
+//
+// Scenarios are layered: a named preset (table2, figure6, ...) provides the
+// base, a scenario file overrides the fields it names (via "extends"), and
+// CLI flags override individual values on top. Whatever the layering, the
+// effective scenario hashes to a single stable identity that is stamped into
+// every output (sweep metrics JSONL, BENCH_sim.json perf history, chaos
+// campaign headers), so any recorded result is reproducible from its
+// scenario alone.
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"specasan/internal/chaos"
+	"specasan/internal/core"
+	"specasan/internal/workloads"
+)
+
+// Version is the scenario schema version this package reads and writes.
+const Version = 1
+
+// FileWorkloadPrefix marks a workload entry that is an assembly file path
+// rather than a named kernel ("file:prog.s"). specasan-sim stamps
+// single-file runs with such scenarios; sweep runners reject them.
+const FileWorkloadPrefix = "file:"
+
+// RunOptions are the cost/behaviour knobs of a run, shared by every
+// harness entry point.
+type RunOptions struct {
+	// Scale multiplies every kernel's iteration count (1.0 ≈ 100k-200k
+	// committed instructions per benchmark).
+	Scale float64 `json:"scale"`
+	// MaxCycles bounds each simulated run.
+	MaxCycles uint64 `json:"max_cycles"`
+	// Workers bounds sweep-cell concurrency (0 = GOMAXPROCS, 1 = serial).
+	// Output is byte-identical for every value.
+	Workers int `json:"workers"`
+	// SkipIdle enables event-driven idle-cycle skipping
+	// (exactness-preserving).
+	SkipIdle bool `json:"skip_idle"`
+}
+
+// ChaosOptions configure a fault-injection campaign (specasan-chaos).
+type ChaosOptions struct {
+	// Seeds is the number of chaos seeds per grid cell, starting at Seed0.
+	Seeds int    `json:"seeds"`
+	Seed0 uint64 `json:"seed0"`
+	// Kinds names the fault kinds to inject; empty means every kind.
+	Kinds []string `json:"kinds,omitempty"`
+	// Rate is the per-opportunity injection probability.
+	Rate float64 `json:"rate"`
+	// MaxLatency caps injected latency in cycles.
+	MaxLatency uint64 `json:"max_latency"`
+	// VerdictSeeds is the seed count for the Table 1 verdict-invariance
+	// sweep (0 disables it).
+	VerdictSeeds int `json:"verdict_seeds"`
+}
+
+// Scenario is one fully-specified experiment: machine x defences x
+// workloads x run options. The zero value is not runnable — start from
+// Default(), a preset, or Load.
+type Scenario struct {
+	// Version must equal the package Version (1).
+	Version int `json:"version"`
+	// Name labels the scenario for humans; it is excluded from the hash, so
+	// renaming a scenario (or deriving it from a differently-named file)
+	// does not orphan recorded results.
+	Name string `json:"name,omitempty"`
+	// Extends names the preset a scenario file layers over ("table2" when
+	// empty). Provenance, not content: excluded from the hash.
+	Extends string `json:"extends,omitempty"`
+	// Machine is the simulated CPU configuration (Table 2 fields, Go field
+	// names as JSON keys).
+	Machine core.Config `json:"machine"`
+	// Mitigations are policy names resolved against the policy registry,
+	// case-insensitively. Sweep columns appear in this order.
+	Mitigations []string `json:"mitigations"`
+	// Workloads are benchmark kernel names (internal/workloads), rows in
+	// sweep order, or one "file:<path>" entry for single-file runs.
+	Workloads []string `json:"workloads"`
+	// Run tunes execution cost and concurrency.
+	Run RunOptions `json:"run"`
+	// Chaos, when present, configures a fault-injection campaign.
+	Chaos *ChaosOptions `json:"chaos,omitempty"`
+}
+
+// DefaultRunOptions match the harness defaults: full-scale kernels, the
+// sweep cycle budget, GOMAXPROCS workers, idle skipping on.
+func DefaultRunOptions() RunOptions {
+	return RunOptions{Scale: 1.0, MaxCycles: 200_000_000, Workers: 0, SkipIdle: true}
+}
+
+// Validate checks the scenario strictly: schema version, machine geometry,
+// resolvable mitigation and workload names, sane run and chaos options.
+// A scenario that validates can run; one that doesn't names the first
+// offending field.
+func (s *Scenario) Validate() error {
+	if s.Version != Version {
+		return fmt.Errorf("scenario: version %d unsupported (want %d)", s.Version, Version)
+	}
+	if err := s.Machine.Validate(); err != nil {
+		return fmt.Errorf("scenario machine: %w", err)
+	}
+	if len(s.Mitigations) == 0 {
+		return fmt.Errorf("scenario: no mitigations")
+	}
+	for _, name := range s.Mitigations {
+		if _, err := core.ParseMitigation(name); err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+	}
+	if len(s.Workloads) == 0 {
+		return fmt.Errorf("scenario: no workloads")
+	}
+	for _, name := range s.Workloads {
+		if strings.HasPrefix(name, FileWorkloadPrefix) {
+			if name == FileWorkloadPrefix {
+				return fmt.Errorf("scenario: empty %q workload path", FileWorkloadPrefix)
+			}
+			continue
+		}
+		if workloads.ByName(name) == nil {
+			return fmt.Errorf("scenario: unknown workload %q", name)
+		}
+	}
+	if !(s.Run.Scale > 0) {
+		return fmt.Errorf("scenario run: scale must be > 0 (got %v)", s.Run.Scale)
+	}
+	if s.Run.MaxCycles < 1 {
+		return fmt.Errorf("scenario run: max_cycles must be >= 1")
+	}
+	if s.Run.Workers < 0 {
+		return fmt.Errorf("scenario run: workers must be >= 0")
+	}
+	if c := s.Chaos; c != nil {
+		if c.Seeds < 1 {
+			return fmt.Errorf("scenario chaos: seeds must be >= 1")
+		}
+		if c.Rate < 0 || c.Rate > 1 {
+			return fmt.Errorf("scenario chaos: rate must be in [0,1] (got %v)", c.Rate)
+		}
+		if c.MaxLatency < 1 {
+			return fmt.Errorf("scenario chaos: max_latency must be >= 1")
+		}
+		if c.VerdictSeeds < 0 {
+			return fmt.Errorf("scenario chaos: verdict_seeds must be >= 0")
+		}
+		for _, k := range c.Kinds {
+			if _, err := chaos.ParseKind(k); err != nil {
+				return fmt.Errorf("scenario chaos: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// MitigationList resolves the scenario's policy names against the registry,
+// in scenario order.
+func (s *Scenario) MitigationList() ([]core.Mitigation, error) {
+	return ParseMitigationNames(s.Mitigations)
+}
+
+// WorkloadSpecs resolves the scenario's workload names, in scenario order.
+// "file:" entries are not named kernels and are rejected here — single-file
+// runs are the CLI's business.
+func (s *Scenario) WorkloadSpecs() ([]*workloads.Spec, error) {
+	out := make([]*workloads.Spec, 0, len(s.Workloads))
+	for _, name := range s.Workloads {
+		if strings.HasPrefix(name, FileWorkloadPrefix) {
+			return nil, fmt.Errorf("scenario: %q is a file workload, not a named kernel", name)
+		}
+		spec := workloads.ByName(name)
+		if spec == nil {
+			return nil, fmt.Errorf("scenario: unknown workload %q", name)
+		}
+		out = append(out, spec)
+	}
+	return out, nil
+}
+
+// ChaosKinds resolves the chaos section's fault kinds; an absent section or
+// empty list means every kind.
+func (s *Scenario) ChaosKinds() ([]chaos.Kind, error) {
+	if s.Chaos == nil || len(s.Chaos.Kinds) == 0 {
+		return chaos.AllKinds(), nil
+	}
+	out := make([]chaos.Kind, 0, len(s.Chaos.Kinds))
+	for _, name := range s.Chaos.Kinds {
+		k, err := chaos.ParseKind(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+// canonical returns the scenario's content in hash-canonical form: the
+// identity fields (Name, Extends) cleared, everything else as-is. JSON
+// marshalling of the result is deterministic — structs marshal in field
+// order and the only map (descriptor knobs) never appears here.
+func (s *Scenario) canonical() Scenario {
+	c := *s
+	c.Name = ""
+	c.Extends = ""
+	return c
+}
+
+// Hash returns the scenario's canonical content hash: 16 hex characters of
+// SHA-256 over the canonical JSON encoding. Two scenarios hash equal exactly
+// when every behaviour-determining field matches; Name and Extends are
+// provenance and excluded. This is the identity stamped into sweep metrics,
+// perf history, and chaos reports.
+func (s *Scenario) Hash() string {
+	c := s.canonical()
+	b, err := json.Marshal(&c)
+	if err != nil {
+		// Scenario is plain data; Marshal cannot fail on it. Keep the
+		// signature ergonomic and make the impossible case loud.
+		panic(fmt.Sprintf("scenario: canonical marshal: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
+}
+
+// MarshalJSONIndent renders the scenario as a checked-in-friendly document:
+// two-space indent, trailing newline.
+func (s *Scenario) MarshalJSONIndent() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// ParseMitigationNames resolves policy names (case-insensitive) in order.
+func ParseMitigationNames(names []string) ([]core.Mitigation, error) {
+	out := make([]core.Mitigation, 0, len(names))
+	for _, name := range names {
+		m, err := core.ParseMitigation(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// ParseMitigationList parses a comma-separated, case-insensitive mitigation
+// list — the one flag-parsing helper behind every CLI's -mitigation/-mits
+// flag (previously each CLI re-implemented this).
+func ParseMitigationList(csv string) ([]core.Mitigation, error) {
+	return ParseMitigationNames(splitCSV(csv))
+}
+
+// ParseWorkloadList parses a comma-separated benchmark-name list into specs.
+func ParseWorkloadList(csv string) ([]*workloads.Spec, error) {
+	names := splitCSV(csv)
+	out := make([]*workloads.Spec, 0, len(names))
+	for _, name := range names {
+		spec := workloads.ByName(name)
+		if spec == nil {
+			return nil, fmt.Errorf("unknown workload %q", name)
+		}
+		out = append(out, spec)
+	}
+	return out, nil
+}
+
+// MitigationNames renders mitigations back to their canonical display names
+// (the inverse of ParseMitigationNames, for stamping scenarios built from
+// flags).
+func MitigationNames(mits []core.Mitigation) []string {
+	out := make([]string, len(mits))
+	for i, m := range mits {
+		out[i] = m.String()
+	}
+	return out
+}
+
+// WorkloadNames lists the specs' names in order.
+func WorkloadNames(specs []*workloads.Spec) []string {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+func splitCSV(csv string) []string {
+	var out []string
+	for _, part := range strings.Split(csv, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

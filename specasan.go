@@ -33,6 +33,7 @@ import (
 	"specasan/internal/harness"
 	"specasan/internal/hwcost"
 	"specasan/internal/isa"
+	"specasan/internal/scenario"
 	"specasan/internal/workloads"
 )
 
@@ -51,6 +52,11 @@ type (
 	Program = asm.Program
 	// Reg is an architectural register (X0..X30, XZR, SP).
 	Reg = isa.Reg
+	// PolicyDescriptor describes a mitigation as registry data: name,
+	// defence class, the behaviour bits the pipeline reads, numeric knobs.
+	PolicyDescriptor = core.PolicyDescriptor
+	// Scenario is a declarative, hashable experiment description.
+	Scenario = scenario.Scenario
 )
 
 // Mitigation configurations (see core.Mitigation).
@@ -67,6 +73,18 @@ const (
 
 // DefaultConfig returns the paper's Table 2 configuration.
 func DefaultConfig() Config { return core.DefaultConfig() }
+
+// RegisterPolicy registers a new mitigation described purely by descriptor
+// data; the pipeline reads its behaviour bits, never its identity.
+func RegisterPolicy(d PolicyDescriptor) (Mitigation, error) { return core.RegisterPolicy(d) }
+
+// ParseMitigation resolves a registered mitigation by name
+// (case-insensitive).
+func ParseMitigation(name string) (Mitigation, error) { return core.ParseMitigation(name) }
+
+// LoadScenario resolves a preset name or scenario file into a validated
+// Scenario (see internal/scenario for presets and layering semantics).
+func LoadScenario(nameOrPath string) (*Scenario, error) { return scenario.Load(nameOrPath) }
 
 // NewMachine builds a simulated machine running prog under the mitigation.
 func NewMachine(cfg Config, mit Mitigation, prog *Program) (*Machine, error) {
