@@ -26,6 +26,7 @@ import (
 	"specasan/internal/obs"
 	"specasan/internal/prof"
 	"specasan/internal/scenario"
+	"specasan/internal/store"
 	"specasan/internal/workloads"
 )
 
@@ -41,6 +42,8 @@ func main() {
 	all := flag.Bool("all", false, "regenerate every figure")
 	perf := flag.Bool("perf", false, "measure simulator performance and write a BENCH_sim.json report")
 	perfOut := flag.String("perf-out", "BENCH_sim.json", "where -perf writes its report")
+	perfNote := flag.String("perf-note", "",
+		"override the -perf history entry's description (default: a summary of the active fast paths)")
 	scale := flag.Float64("scale", 1.0, "kernel iteration scale")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	traceCell := flag.String("trace", "", "record a Chrome trace of one sweep cell, named benchmark/mitigation (e.g. 505.mcf_r/SpecASan)")
@@ -49,6 +52,8 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	skipIdle := flag.Bool("skip-idle", true, "event-driven idle-cycle skipping (exactness-preserving; off walks every cycle)")
+	storeDir := flag.String("store", "",
+		"result-store directory for -scenario sweeps: verified cached cells are served without simulating, cold cells persist (ignored by -fig/-all/-perf, which are pinned measurements)")
 	verbose := flag.Bool("v", false, "log each run")
 	flag.Parse()
 
@@ -117,10 +122,26 @@ func main() {
 		if *fig != 0 || *all || *perf {
 			fatal(fmt.Errorf("-scenario is a complete sweep description; combine overrides into the scenario instead of -fig/-all/-perf"))
 		}
+		if *storeDir != "" {
+			st, err := store.Open(*storeDir)
+			if err != nil {
+				fatal(err)
+			}
+			if st.ReadOnly() {
+				fmt.Fprintf(os.Stderr, "specasan-bench: store %s is read-only: serving cached results, not persisting new ones\n", *storeDir)
+			}
+			opt.Store = harness.DiskCellStore{S: st}
+		}
 		explicit := map[string]bool{}
 		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 		runScenario(*scen, opt, explicit)
 		return
+	}
+	if *storeDir != "" {
+		// -fig/-all reproduce the paper's pinned figures and -perf measures
+		// the simulator itself; serving any of them from a cache would
+		// defeat the point.
+		fmt.Fprintln(os.Stderr, "specasan-bench: -store only applies to -scenario sweeps; ignored")
 	}
 
 	if *perf {
@@ -134,7 +155,7 @@ func main() {
 		ps.Run.Scale = opt.Scale
 		ps.Run.SkipIdle = !opt.NoSkipIdle
 		opt.ScenarioHash = ps.Hash()
-		runPerf(*perfOut, opt)
+		runPerf(*perfOut, *perfNote, opt)
 		return
 	}
 
@@ -206,7 +227,7 @@ func runScenario(arg string, opt harness.Options, explicit map[string]bool) {
 // runPerf measures the simulator substrate itself — steady-state single-core
 // throughput and serial-vs-parallel sweep wall time — and writes the
 // BENCH_sim.json report (format documented in README.md).
-func runPerf(path string, opt harness.Options) {
+func runPerf(path, note string, opt harness.Options) {
 	rep, err := harness.MeasurePerf(perfSteps, workloads.SPEC(), harness.Figure6Mitigations(), opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "specasan-bench:", err)
@@ -215,6 +236,9 @@ func runPerf(path string, opt harness.Options) {
 	desc := "event-driven idle skipping + flat memory/tag/cache paths"
 	if opt.NoSkipIdle {
 		desc = "flat memory/tag/cache paths (idle skipping disabled)"
+	}
+	if note != "" {
+		desc = note
 	}
 	if err := rep.AppendHistory(path, desc); err != nil {
 		fmt.Fprintln(os.Stderr, "specasan-bench:", err)

@@ -26,6 +26,7 @@ import (
 	"specasan/internal/cpu"
 	"specasan/internal/obs"
 	"specasan/internal/scenario"
+	"specasan/internal/store"
 )
 
 func fail(format string, args ...interface{}) {
@@ -52,6 +53,8 @@ func main() {
 	traceIdx := flag.Int("trace", -1, "re-run one campaign cell (by index) with event tracing and write a Chrome trace")
 	traceOut := flag.String("trace-out", "trace.json", "where -trace writes its Chrome trace-event JSON")
 	metricsOut := flag.String("metrics-out", "", "write per-cell metrics records (JSONL, cell order) to this file")
+	storeDir := flag.String("store", "",
+		"result-store directory: verified cached campaign cells (verdicts included) are served without simulating, cold cells persist (ignored with -metrics-out, which must simulate)")
 	skipIdle := flag.Bool("skip-idle", true,
 		"event-driven idle-cycle skipping; injected runs bypass it regardless (the per-cycle fault driver must see every cycle)")
 	verbose := flag.Bool("v", false, "log each run")
@@ -118,10 +121,6 @@ func main() {
 	hash := s.Hash()
 	fmt.Fprintf(os.Stderr, "specasan-chaos: scenario %s (hash %s)\n", s.Name, hash)
 
-	kinds, err := s.ChaosKinds()
-	if err != nil {
-		fail("%v", err)
-	}
 	specs, err := s.WorkloadSpecs()
 	if err != nil {
 		fail("%v", err)
@@ -130,36 +129,21 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-
-	// Grid columns: each kind alone (isolating which perturbation breaks
-	// state), plus all kinds combined (their interactions).
-	kindSets := make([][]chaos.Kind, 0, len(kinds)+1)
-	for _, k := range kinds {
-		kindSets = append(kindSets, []chaos.Kind{k})
+	// The shared scenario expansion: same grid (and same store keys) as the
+	// sweep service, workload-major, seeds innermost.
+	cells, err := s.CampaignCells()
+	if err != nil {
+		fail("%v", err)
 	}
-	if len(kinds) > 1 {
-		kindSets = append(kindSets, kinds)
-	}
-
-	machine := s.Machine
-	var cells []chaos.CampaignCell
-	for _, spec := range specs {
-		for _, mit := range mits {
-			for _, ks := range kindSets {
-				for i := 0; i < s.Chaos.Seeds; i++ {
-					cells = append(cells, chaos.CampaignCell{
-						Spec: spec, Mit: mit,
-						Cfg: chaos.Config{
-							Seed: s.Chaos.Seed0 + uint64(i), Kinds: ks,
-							Rate: s.Chaos.Rate, MaxLatency: s.Chaos.MaxLatency,
-							Machine: &machine,
-						},
-					})
-				}
-			}
-		}
+	kindSets := 0
+	if n := len(specs) * len(mits) * s.Chaos.Seeds; n > 0 {
+		kindSets = len(cells) / n
 	}
 
+	copt := chaos.CampaignOptions{
+		Scale: s.Run.Scale, MaxCycles: s.Run.MaxCycles, Workers: s.Run.Workers,
+		ScenarioHash: hash, NoSkipIdle: !s.Run.SkipIdle,
+	}
 	var metricsW io.Writer
 	if *metricsOut != "" {
 		f, err := os.Create(*metricsOut)
@@ -172,11 +156,25 @@ func main() {
 			}
 		}()
 		metricsW = f
+		copt.Metrics = metricsW
+	}
+	if *storeDir != "" {
+		if *metricsOut != "" {
+			fmt.Fprintln(os.Stderr, "specasan-chaos: -store ignored (-metrics-out runs must simulate)")
+		} else {
+			st, err := store.Open(*storeDir)
+			if err != nil {
+				fail("%v", err)
+			}
+			if st.ReadOnly() {
+				fmt.Fprintf(os.Stderr, "specasan-chaos: store %s is read-only: serving cached results, not persisting new ones\n", *storeDir)
+			}
+			copt.Store = chaos.DiskCampaignStore{S: st}
+			copt.ResultHash = s.ResultHash()
+		}
 	}
 
-	reps, err := chaos.RunCampaignMetrics(cells, s.Run.Scale, s.Run.MaxCycles,
-		s.Run.Workers, metricsW, hash,
-		func(m *cpu.Machine) { m.SkipIdle = s.Run.SkipIdle })
+	reps, err := chaos.RunCampaignOpts(cells, copt)
 	if err != nil {
 		c := cells[len(reps)]
 		fail("%s/%v: %v", c.Spec.Name, c.Mit, err)
@@ -201,7 +199,7 @@ func main() {
 		}
 	}
 	fmt.Printf("golden sweep: %d runs (%d workloads x %d mitigations x %d kind sets x %d seeds), %d faults injected, %d divergences\n",
-		runs, len(specs), len(mits), len(kindSets), s.Chaos.Seeds, injected, failures)
+		runs, len(specs), len(mits), kindSets, s.Chaos.Seeds, injected, failures)
 
 	drifted := 0
 	if *verdicts && s.Chaos.VerdictSeeds > 0 {

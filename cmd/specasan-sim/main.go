@@ -30,6 +30,7 @@ import (
 	"specasan/internal/obs"
 	"specasan/internal/prof"
 	"specasan/internal/scenario"
+	"specasan/internal/store"
 	"specasan/internal/workloads"
 )
 
@@ -51,6 +52,8 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	skipIdle := flag.Bool("skip-idle", true, "event-driven idle-cycle skipping (exactness-preserving; off walks every cycle)")
+	storeDir := flag.String("store", "",
+		"result-store directory: serve this run from the store when a verified entry exists, persist it otherwise (named kernels without trace/pipeview/metrics instrumentation only)")
 	flag.Parse()
 
 	if *showConfig {
@@ -111,6 +114,24 @@ func main() {
 		fatal(err)
 	}
 	mit := mits[0]
+
+	// The result store serves plain named-kernel runs. File workloads are
+	// not content-addressed (the scenario hash does not cover the file's
+	// bytes), and instrumented runs must actually simulate — both fall
+	// through to the ordinary path, uncached. Without -store the legacy
+	// path runs untouched.
+	if *storeDir != "" {
+		instrumented := *trace || *traceText || *pipeview > 0 || *metricsOut != ""
+		isFile := strings.HasPrefix(s.Workloads[0], scenario.FileWorkloadPrefix)
+		if instrumented || isFile {
+			fmt.Fprintln(os.Stderr, "specasan-sim: -store ignored (file workloads and instrumented runs always simulate, uncached)")
+		} else if err := runStored(s, mit, *storeDir); err != nil {
+			fatal(err)
+		} else {
+			return
+		}
+	}
+
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		fatal(err)
@@ -209,6 +230,44 @@ func main() {
 		stopProf() // os.Exit skips the deferred flush
 		os.Exit(1)
 	}
+}
+
+// runStored runs (or serves) one named-kernel cell through the result
+// store: a verified entry for (result hash, bench, mitigation) answers
+// without simulating; a cold run simulates and persists. The printed block
+// matches the ordinary path (FormatStats sorts counters, so cached and cold
+// output are identical).
+func runStored(s *scenario.Scenario, mit core.Mitigation, dir string) error {
+	st, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	if st.ReadOnly() {
+		fmt.Fprintf(os.Stderr, "specasan-sim: store %s is read-only: serving cached results, not persisting new ones\n", dir)
+	}
+	spec := workloads.ByName(s.Workloads[0])
+	if spec == nil {
+		return fmt.Errorf("unknown benchmark %q (see internal/workloads)", s.Workloads[0])
+	}
+	opt := harness.OptionsFromScenario(s)
+	opt.Store = harness.DiskCellStore{S: st}
+	r, cached, err := harness.RunCell(spec, mit, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mitigation   %s\n", mit)
+	fmt.Printf("cycles       %d\n", r.Cycles)
+	fmt.Printf("committed    %d\n", r.Committed)
+	fmt.Printf("ipc          %.3f\n", float64(r.Committed)/float64(r.Cycles))
+	fmt.Printf("timed-out    false\n")
+	fmt.Printf("faulted      false\n")
+	if len(r.Output) > 0 {
+		fmt.Printf("output       %q\n", r.Output)
+	}
+	fmt.Printf("cached       %v\n", cached)
+	fmt.Println("\ncounters:")
+	fmt.Print(harness.FormatStats(r.Stats))
+	return nil
 }
 
 func printConfig() {

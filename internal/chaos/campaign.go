@@ -16,10 +16,45 @@ import (
 // mitigation with one chaos configuration (kinds + seed). Cells are fully
 // independent — each builds its own machine and injector — which is what
 // makes the campaign safe to run on a worker pool.
+//
+// Key, when non-empty, is the cell's store key (derived by the caller, e.g.
+// scenario.ChaosCellKey, which folds the kinds and seed into a
+// filesystem-safe slug). It only matters when the campaign runs with a
+// CampaignStore; a cell without a key always simulates.
 type CampaignCell struct {
 	Spec *workloads.Spec
 	Mit  core.Mitigation
 	Cfg  Config
+	Key  string
+}
+
+// CampaignOptions bundles the campaign-wide knobs of RunCampaignOpts.
+type CampaignOptions struct {
+	// Scale is the workload scale factor; MaxCycles the per-cell cycle
+	// budget; Workers the pool width (0 = GOMAXPROCS).
+	Scale     float64
+	MaxCycles uint64
+	Workers   int
+	// Metrics, when set, receives one obs JSONL record per
+	// successfully-run cell, buffered cell-locally and flushed in cell
+	// order — byte-identical for any worker count. Instrumented campaigns
+	// never use the cell cache: a cached report cannot replay the stream.
+	Metrics io.Writer
+	// ScenarioHash, when non-empty, is stamped into every metrics record.
+	ScenarioHash string
+	// Store + ResultHash enable the cell cache: completed cells (verdicts
+	// included) persist under (ResultHash, cell.Key) and later campaigns
+	// reuse them without simulating. Either empty disables caching.
+	Store      CampaignStore
+	ResultHash string
+	// Attach hooks run on every cell's machine after construction.
+	Attach []func(*cpu.Machine)
+	// NoSkipIdle disables event-driven idle-cycle skipping on every cell's
+	// machine. Unlike Attach hooks it does not make the campaign
+	// uncacheable: every campaign cell runs with the injector's PerCycle
+	// hook installed, which bypasses idle skipping regardless, so the knob
+	// is result-neutral here (and the result hash pins it anyway).
+	NoSkipIdle bool
 }
 
 // RunCampaign executes every cell with up to `workers` running concurrently
@@ -30,43 +65,74 @@ type CampaignCell struct {
 // with the reports of the cells before it.
 func RunCampaign(cells []CampaignCell, scale float64, maxCycles uint64,
 	workers int) ([]*RunReport, error) {
-	return RunCampaignMetrics(cells, scale, maxCycles, workers, nil, "")
+	return RunCampaignOpts(cells, CampaignOptions{
+		Scale: scale, MaxCycles: maxCycles, Workers: workers,
+	})
 }
 
 // RunCampaignMetrics is RunCampaign with an optional obs JSONL metrics
-// stream: one record per successfully-run cell, buffered cell-locally and
-// flushed in cell order, so the stream is byte-identical for any worker
-// count. A nil metrics writer disables the instrumentation entirely.
-// scenarioHash, when non-empty, is stamped into every record (the campaign
-// scenario's canonical content hash). Extra attach hooks run on every cell's
-// machine after construction.
+// stream; see CampaignOptions.Metrics. Kept for callers predating the
+// options struct.
 func RunCampaignMetrics(cells []CampaignCell, scale float64, maxCycles uint64,
 	workers int, metrics io.Writer, scenarioHash string,
 	extraAttach ...func(*cpu.Machine)) ([]*RunReport, error) {
+	return RunCampaignOpts(cells, CampaignOptions{
+		Scale: scale, MaxCycles: maxCycles, Workers: workers,
+		Metrics: metrics, ScenarioHash: scenarioHash, Attach: extraAttach,
+	})
+}
 
+// RunCampaignOpts runs the campaign grid under one set of options. When a
+// cell cache is configured (Store, ResultHash, cell keys) and the campaign
+// is not instrumented, each cell first consults the store: a verified entry
+// whose embedded identity matches the cell is rehydrated instead of
+// simulated, and every cold result — divergent or not — is written back.
+// Cached and cold campaigns produce identical reports because every cell is
+// deterministic in (workload, mitigation, chaos config, scale, budget), all
+// of which are pinned by the result hash and cell key.
+func RunCampaignOpts(cells []CampaignCell, opt CampaignOptions) ([]*RunReport, error) {
+	cacheable := opt.Store != nil && opt.ResultHash != "" &&
+		opt.Metrics == nil && len(opt.Attach) == 0
 	reps := make([]*RunReport, len(cells))
 	errs := make([]error, len(cells))
 	bufs := make([]bytes.Buffer, len(cells))
 	var flush func(i int)
-	if metrics != nil {
-		flush = func(i int) { io.Copy(metrics, &bufs[i]) }
+	if opt.Metrics != nil {
+		flush = func(i int) { io.Copy(opt.Metrics, &bufs[i]) }
 	}
-	par.ForEachOrdered(len(cells), workers, func(i int) {
-		attach := append([]func(*cpu.Machine){}, extraAttach...)
+	par.ForEachOrdered(len(cells), opt.Workers, func(i int) {
+		c := cells[i]
+		if cacheable && c.Key != "" {
+			if rec, ok := opt.Store.GetCell(opt.ResultHash, c.Key); ok &&
+				rec.matches(c.Spec, c.Mit, c.Cfg) {
+				reps[i] = rec.report(c.Spec, c.Mit)
+				return
+			}
+		}
+		attach := append([]func(*cpu.Machine){}, opt.Attach...)
+		if opt.NoSkipIdle {
+			attach = append(attach, func(m *cpu.Machine) { m.SkipIdle = false })
+		}
 		var met *obs.Metrics
-		if metrics != nil {
+		if opt.Metrics != nil {
 			attach = append(attach, func(m *cpu.Machine) {
 				met = obs.NewMetrics(len(m.Cores))
 				m.AttachObs(nil, met)
 			})
 		}
-		reps[i], errs[i] = RunWorkload(cells[i].Spec, cells[i].Mit, cells[i].Cfg,
-			scale, maxCycles, attach...)
-		if met != nil && errs[i] == nil {
-			rec := met.Record(cells[i].Spec.Name, cells[i].Mit.String(),
+		reps[i], errs[i] = RunWorkload(c.Spec, c.Mit, c.Cfg,
+			opt.Scale, opt.MaxCycles, attach...)
+		if errs[i] != nil {
+			return
+		}
+		if met != nil {
+			rec := met.Record(c.Spec.Name, c.Mit.String(),
 				reps[i].Cycles, reps[i].Committed)
-			rec.ScenarioHash = scenarioHash
+			rec.ScenarioHash = opt.ScenarioHash
 			errs[i] = obs.WriteMetricsLine(&bufs[i], rec)
+		}
+		if cacheable && c.Key != "" && errs[i] == nil {
+			opt.Store.PutCell(opt.ResultHash, c.Key, CellRecordOf(reps[i]))
 		}
 	}, flush)
 	for i, err := range errs {

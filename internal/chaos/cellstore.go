@@ -1,0 +1,101 @@
+package chaos
+
+import (
+	"specasan/internal/core"
+	"specasan/internal/store"
+	"specasan/internal/workloads"
+)
+
+// CellSchema versions the cached campaign-cell payload. Bump when CellRecord
+// changes shape; older entries then read as misses.
+const CellSchema = "specasan-chaos-cell/v1"
+
+// CellRecord is the cacheable outcome of one campaign cell: everything a
+// RunReport carries except the workload/mitigation identity, which the cell
+// itself supplies on rehydration (and which GetCell cross-checks, so a
+// misfiled entry can never surface as another cell's verdict). Divergence is
+// cached too — a diverging run is still a deterministic, reproducible result,
+// and serving it from the store keeps repeated campaigns honest instead of
+// quietly green.
+type CellRecord struct {
+	Schema     string   `json:"schema"`
+	Workload   string   `json:"workload"`
+	Mitigation string   `json:"mitigation"`
+	Seed       uint64   `json:"seed"`
+	Injected   uint64   `json:"injected"`
+	Summary    string   `json:"summary,omitempty"`
+	Cycles     uint64   `json:"cycles"`
+	Committed  uint64   `json:"committed"`
+	Divergence []string `json:"divergence,omitempty"`
+}
+
+// CellRecordOf converts a cold run's report into its cacheable form.
+func CellRecordOf(r *RunReport) *CellRecord {
+	return &CellRecord{
+		Schema:     CellSchema,
+		Workload:   r.Workload,
+		Mitigation: r.Mitigation.String(),
+		Seed:       r.Seed,
+		Injected:   r.Injected,
+		Summary:    r.Summary,
+		Cycles:     r.Cycles,
+		Committed:  r.Committed,
+		Divergence: r.Divergence,
+	}
+}
+
+// report rehydrates the cached record for the given cell.
+func (c *CellRecord) report(spec *workloads.Spec, mit core.Mitigation) *RunReport {
+	return &RunReport{
+		Workload:   spec.Name,
+		Mitigation: mit,
+		Seed:       c.Seed,
+		Injected:   c.Injected,
+		Summary:    c.Summary,
+		Cycles:     c.Cycles,
+		Committed:  c.Committed,
+		Divergence: c.Divergence,
+	}
+}
+
+// matches reports whether the record belongs to the cell asking for it.
+func (c *CellRecord) matches(spec *workloads.Spec, mit core.Mitigation, cfg Config) bool {
+	return c.Schema == CellSchema && c.Workload == spec.Name &&
+		c.Mitigation == mit.String() && c.Seed == cfg.Seed
+}
+
+// CampaignStore is the cache RunCampaignOpts consults, keyed by the
+// scenario's result-context hash plus the cell's store key (derived by the
+// caller — typically scenario.ChaosCellKey — because the key encodes cell
+// coordinates the chaos package does not interpret). Implementations must be
+// safe for concurrent use and must treat any doubtful entry as a miss.
+type CampaignStore interface {
+	GetCell(resultHash, cellKey string) (*CellRecord, bool)
+	// PutCell records a completed cell. Failures are the implementation's
+	// to absorb: caching must never fail the campaign that produced the
+	// result.
+	PutCell(resultHash, cellKey string, c *CellRecord)
+}
+
+// DiskCampaignStore adapts the crash-safe on-disk store to the CampaignStore
+// seam. The zero value is not usable; wrap a store.Open result.
+type DiskCampaignStore struct {
+	S *store.Store
+}
+
+// GetCell fetches a cached cell record; corrupt entries have already been
+// quarantined by the store and read as misses.
+func (d DiskCampaignStore) GetCell(resultHash, cellKey string) (*CellRecord, bool) {
+	var c CellRecord
+	ok, err := d.S.GetJSON(store.Key{Space: resultHash, Name: cellKey}, &c)
+	if err != nil || !ok {
+		return nil, false
+	}
+	return &c, true
+}
+
+// PutCell persists a cell record; errors (read-only store, full disk) are
+// absorbed and counted by the store.
+func (d DiskCampaignStore) PutCell(resultHash, cellKey string, c *CellRecord) {
+	_ = d.S.PutJSON(store.Key{Space: resultHash, Name: cellKey}, c)
+}

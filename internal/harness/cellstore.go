@@ -1,0 +1,131 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"specasan/internal/core"
+	"specasan/internal/scenario"
+	"specasan/internal/stats"
+	"specasan/internal/store"
+)
+
+// CellSchema versions the cached cell-result payload. Bump it when
+// CellResult changes shape; older entries then read as misses.
+const CellSchema = "specasan-cell/v1"
+
+// CellResult is the cacheable outcome of one successful sweep cell: enough
+// to reconstruct the PerfResult (and every table derived from it)
+// byte-for-byte without re-simulating. Counters marshal as a JSON object
+// with sorted keys, so the encoded payload is canonical — two runs of the
+// same cell produce identical bytes, which is what the store's byte-identity
+// contract serves back.
+type CellResult struct {
+	Schema     string            `json:"schema"`
+	Bench      string            `json:"bench"`
+	Mitigation string            `json:"mitigation"`
+	Cycles     uint64            `json:"cycles"`
+	Committed  uint64            `json:"committed"`
+	Restricted uint64            `json:"restricted"`
+	Output     string            `json:"output,omitempty"`
+	Counters   map[string]uint64 `json:"counters,omitempty"`
+}
+
+// CellResultOf converts a cold run's PerfResult into its cacheable form.
+func CellResultOf(r *PerfResult) *CellResult {
+	c := &CellResult{
+		Schema:     CellSchema,
+		Bench:      r.Benchmark,
+		Mitigation: r.Mitigation.String(),
+		Cycles:     r.Cycles,
+		Committed:  r.Committed,
+		Restricted: r.Restricted,
+		Output:     r.Output,
+	}
+	if r.Stats != nil {
+		c.Counters = make(map[string]uint64, len(r.Stats.Keys()))
+		for _, k := range r.Stats.Keys() {
+			c.Counters[k] = r.Stats.Get(k)
+		}
+	}
+	return c
+}
+
+// PerfResult rehydrates the cached cell. The counter set is rebuilt in
+// sorted-key order — every consumer (FormatStats, the sweep formatters)
+// either sorts or looks up by key, so cached and cold results render
+// identically. Fails if the payload is from another schema generation or
+// names a mitigation this process has not registered.
+func (c *CellResult) PerfResult() (*PerfResult, error) {
+	if c.Schema != CellSchema {
+		return nil, fmt.Errorf("cell result schema %q (want %q)", c.Schema, CellSchema)
+	}
+	mit, err := core.ParseMitigation(c.Mitigation)
+	if err != nil {
+		return nil, err
+	}
+	set := stats.NewSet("run")
+	keys := make([]string, 0, len(c.Counters))
+	for k := range c.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		set.Set(k, c.Counters[k])
+	}
+	return &PerfResult{
+		Benchmark:  c.Bench,
+		Mitigation: mit,
+		Cycles:     c.Cycles,
+		Committed:  c.Committed,
+		Restricted: c.Restricted,
+		Output:     c.Output,
+		Stats:      set,
+	}, nil
+}
+
+// CellStore is the cache RunCell consults: keyed by the scenario's
+// result-context hash plus the cell's coordinates. Implementations must be
+// safe for concurrent use (sweep cells run on a worker pool) and must never
+// return a result they cannot vouch for — a doubtful entry is a miss.
+type CellStore interface {
+	// GetCell returns the cached result for the cell, or ok=false.
+	GetCell(resultHash, bench, mitigation string) (c *CellResult, ok bool)
+	// PutCell records a successful cell result. Failures are the
+	// implementation's to absorb (log, count, drop): caching is an
+	// optimisation and must never fail the run that produced the result.
+	PutCell(resultHash string, c *CellResult)
+}
+
+// DiskCellStore adapts the crash-safe on-disk store (internal/store) to the
+// CellStore seam. The zero value is not usable; wrap a store.Open result.
+type DiskCellStore struct {
+	S *store.Store
+}
+
+// key derives the on-disk key of a cell.
+func (DiskCellStore) key(resultHash, bench, mitigation string) store.Key {
+	return store.Key{Space: resultHash, Name: scenario.CellKey(bench, mitigation)}
+}
+
+// GetCell fetches and validates a cached cell. Beyond the store's checksum,
+// the embedded identity must match the requested cell — an entry filed under
+// the wrong key (or a key collision, however unlikely) reads as a miss, not
+// as someone else's result.
+func (d DiskCellStore) GetCell(resultHash, bench, mitigation string) (*CellResult, bool) {
+	var c CellResult
+	ok, err := d.S.GetJSON(d.key(resultHash, bench, mitigation), &c)
+	if err != nil || !ok {
+		return nil, false
+	}
+	if c.Schema != CellSchema || c.Bench != bench || c.Mitigation != mitigation {
+		return nil, false
+	}
+	return &c, true
+}
+
+// PutCell persists a cell result; errors (read-only store, full disk) are
+// absorbed — the store's counters record them, and the run proceeds.
+func (d DiskCellStore) PutCell(resultHash string, c *CellResult) {
+	_ = d.S.PutJSON(d.key(resultHash, c.Bench, c.Mitigation), c)
+}

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime/debug"
 	"sort"
 	"strings"
 
@@ -61,6 +62,51 @@ type Options struct {
 	// ScenarioHash, when set, is stamped into every metrics record this run
 	// emits — the canonical content hash of the effective scenario.
 	ScenarioHash string
+	// Retry tunes the escalated-budget retry of timed-out cells. The zero
+	// value reproduces the original policy (one retry at 4x the budget);
+	// scenario-driven runs map the retry_budget_factor/max_retries knobs
+	// here.
+	Retry RetryPolicy
+	// Store, when set together with ResultHash, caches successful cell
+	// results: RunCell consults it before simulating and writes every cold
+	// success back. Instrumented cells (Metrics or Attach set) always
+	// simulate, because a cached result cannot replay their event streams.
+	Store CellStore
+	// ResultHash keys the store: the scenario's result-context hash
+	// (scenario.ResultHash). Empty disables the cache even when Store is
+	// set — results without a scenario identity are not addressable.
+	ResultHash string
+}
+
+// RetryPolicy tunes how RunCell retries cells that exhaust their cycle
+// budget. The zero value means the defaults below; MaxRetries < 0 disables
+// retries entirely (a scenario's max_retries: 0 maps to that).
+type RetryPolicy struct {
+	// BudgetFactor scales MaxCycles on each retry (0 = DefaultRetryBudgetFactor).
+	BudgetFactor uint64
+	// MaxRetries bounds the escalated retries (0 = DefaultMaxRetries, <0 = none).
+	MaxRetries int
+}
+
+// The original hardcoded sweep-retry policy, now just the defaults.
+const (
+	DefaultRetryBudgetFactor = 4
+	DefaultMaxRetries        = 1
+)
+
+// normalized resolves the zero-value conventions.
+func (p RetryPolicy) normalized() (factor uint64, retries int) {
+	factor, retries = p.BudgetFactor, p.MaxRetries
+	if factor == 0 {
+		factor = DefaultRetryBudgetFactor
+	}
+	switch {
+	case retries == 0:
+		retries = DefaultMaxRetries
+	case retries < 0:
+		retries = 0
+	}
+	return factor, retries
 }
 
 // DefaultOptions are suitable for the command-line tools.
@@ -81,6 +127,7 @@ type PerfResult struct {
 	Cycles     uint64
 	Committed  uint64
 	Restricted uint64 // committed instructions the mitigation delayed
+	Output     string // core 0's console output, if the kernel printed
 	Stats      *stats.Set
 }
 
@@ -141,6 +188,7 @@ func RunBenchmark(spec *workloads.Spec, mit core.Mitigation, opt Options) (*Perf
 		Cycles:     res.Cycles,
 		Committed:  res.Committed,
 		Restricted: res.Stats.Get("restricted_commits"),
+		Output:     string(m.Core(0).Output),
 		Stats:      res.Stats,
 	}, nil
 }
@@ -175,36 +223,88 @@ func (s *Sweep) FailedCells() []string {
 	return out
 }
 
-// timeoutRetryFactor scales MaxCycles for the single retry a timed-out cell
-// gets before it is declared failed.
-const timeoutRetryFactor = 4
-
-// runCell executes one (benchmark, mitigation) cell, including the single
-// escalated-budget retry for timeouts. All log output goes through opt, so a
-// caller can hand it a cell-local buffer and replay it deterministically.
-func runCell(spec *workloads.Spec, mit core.Mitigation, opt Options) (*PerfResult, error) {
-	r, err := RunBenchmark(spec, mit, opt)
-	if err != nil && errors.Is(err, ErrTimedOut) {
+// RunCell executes one (benchmark, mitigation) cell — the store-aware,
+// retrying, panic-recovering seam that RunSweep and the serve daemon share.
+// cached reports whether the result was served from opt.Store instead of
+// simulated. All log output goes through opt, so a caller can hand it a
+// cell-local buffer and replay it deterministically.
+//
+// Behaviour, in order:
+//   - If the cell is cacheable (Store and ResultHash set, no Metrics/Attach
+//     instrumentation) and the store holds a verified entry for
+//     (ResultHash, bench, mitigation), that result is returned without
+//     simulating. Corrupt entries have been quarantined by the store and
+//     read as misses, so a damaged cache can cost a re-simulation but never
+//     a wrong answer.
+//   - Otherwise the cell simulates, with up to Retry.MaxRetries
+//     escalated-budget retries for timeouts (budget scaled by
+//     Retry.BudgetFactor each attempt, saturating instead of overflowing).
+//   - A panic anywhere in the simulation is converted to a cell error with
+//     the stack attached, so one diseased cell costs a table entry, not the
+//     sweep or the serving process.
+//   - A cold success is written back to the store; write failures (e.g. a
+//     store in read-only mode) are deliberately non-fatal.
+func RunCell(spec *workloads.Spec, mit core.Mitigation, opt Options) (r *PerfResult, cached bool, err error) {
+	// Source-override specs are excluded: their program text lives outside
+	// the scenario, so (ResultHash, name) does not pin their identity.
+	cacheable := opt.Store != nil && opt.ResultHash != "" &&
+		opt.Metrics == nil && opt.Attach == nil && spec.Source == ""
+	if cacheable {
+		if cr, ok := opt.Store.GetCell(opt.ResultHash, spec.Name, mit.String()); ok {
+			if r, err := cr.PerfResult(); err == nil {
+				opt.logf("  %-18s %-12s cached cycles=%-10d ipc=%.2f restricted=%d",
+					spec.Name, mit, r.Cycles,
+					float64(r.Committed)/float64(max(r.Cycles, 1)), r.Restricted)
+				return r, true, nil
+			}
+			// An entry that decodes but cannot be rehydrated (e.g. a policy
+			// name this process has not registered) is as good as a miss.
+		}
+	}
+	factor, retries := opt.Retry.normalized()
+	r, err = runBenchmarkRecover(spec, mit, opt)
+	budget := opt.MaxCycles
+	for attempt := 0; attempt < retries && errors.Is(err, ErrTimedOut); attempt++ {
+		if budget > ^uint64(0)/factor {
+			break // budget would overflow; the cell is a true hang
+		}
+		budget *= factor
 		retry := opt
-		retry.MaxCycles = opt.MaxCycles * timeoutRetryFactor
+		retry.MaxCycles = budget
 		opt.logf("  %-18s %-12s timed out; retrying with %d-cycle budget",
-			spec.Name, mit, retry.MaxCycles)
-		r, err = RunBenchmark(spec, mit, retry)
+			spec.Name, mit, budget)
+		r, err = runBenchmarkRecover(spec, mit, retry)
 	}
 	if err != nil {
 		opt.logf("  %-18s %-12s FAILED: %v", spec.Name, mit, err)
+		return nil, false, err
 	}
-	return r, err
+	if cacheable {
+		opt.Store.PutCell(opt.ResultHash, CellResultOf(r))
+	}
+	return r, false, nil
+}
+
+// runBenchmarkRecover is RunBenchmark with panics converted to errors: the
+// fault-isolation boundary of every cell execution.
+func runBenchmarkRecover(spec *workloads.Spec, mit core.Mitigation, opt Options) (r *PerfResult, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			r = nil
+			err = fmt.Errorf("%s under %v: panic: %v\n%s", spec.Name, mit, p, debug.Stack())
+		}
+	}()
+	return RunBenchmark(spec, mit, opt)
 }
 
 // RunSweep executes every benchmark under every mitigation, running up to
 // opt.Workers cells concurrently (each cell is an independent simulated
 // machine). It degrades gracefully: a cell that fails is recorded in
 // Sweep.Errors and the sweep continues, so one wedged benchmark costs one
-// table cell, not the whole figure. Timed-out cells are retried once with a
-// MaxCycles budget escalated by timeoutRetryFactor (slow-but-finite runs
-// recover; true hangs fail twice). The returned error is non-nil only when
-// every cell failed.
+// table cell, not the whole figure. Timed-out cells are retried with
+// escalated MaxCycles budgets under opt.Retry — by default once at 4x, so
+// slow-but-finite runs recover and true hangs fail twice. The returned error
+// is non-nil only when every cell failed.
 //
 // Determinism contract: results, errors, and every byte written to opt.Log
 // and opt.Metrics are identical for any worker count. Per-cell log and
@@ -246,7 +346,7 @@ func RunSweep(specs []*workloads.Spec, mits []core.Mitigation, opt Options) (*Sw
 			if opt.Metrics != nil {
 				cellOpt.Metrics = &c.met
 			}
-			c.res, c.err = runCell(c.spec, c.mit, cellOpt)
+			c.res, _, c.err = RunCell(c.spec, c.mit, cellOpt)
 		},
 		func(i int) {
 			c := &cells[i]

@@ -13,6 +13,10 @@ import (
 // Attach) stay zero — they belong to the caller, not the scenario.
 func OptionsFromScenario(s *scenario.Scenario) Options {
 	cfg := s.Machine
+	retries := s.Run.MaxRetries
+	if retries == 0 {
+		retries = -1 // the scenario knob is explicit: 0 means no retries
+	}
 	return Options{
 		Scale:        s.Run.Scale,
 		MaxCycles:    s.Run.MaxCycles,
@@ -20,6 +24,11 @@ func OptionsFromScenario(s *scenario.Scenario) Options {
 		NoSkipIdle:   !s.Run.SkipIdle,
 		Config:       &cfg,
 		ScenarioHash: s.Hash(),
+		ResultHash:   s.ResultHash(),
+		Retry: RetryPolicy{
+			BudgetFactor: s.Run.RetryBudgetFactor,
+			MaxRetries:   retries,
+		},
 	}
 }
 
@@ -42,5 +51,6 @@ func RunScenarioSweep(s *scenario.Scenario, opt Options) (*Sweep, error) {
 	}
 	so := OptionsFromScenario(s)
 	so.Verbose, so.Log, so.Metrics, so.Attach = opt.Verbose, opt.Log, opt.Metrics, opt.Attach
+	so.Store = opt.Store // cache keying (ResultHash) comes from the scenario
 	return RunSweep(specs, mits, so)
 }

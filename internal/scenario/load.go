@@ -25,25 +25,35 @@ func Load(nameOrPath string) (*Scenario, error) {
 	return LoadFile(nameOrPath)
 }
 
-// LoadFile reads a scenario file and layers it over its base preset: the
-// file's "extends" field names the preset ("table2" when absent); only the
-// fields the file spells out override the base. Unknown fields are an error
-// (strict decode), so a typo'd knob fails loudly instead of silently running
-// the base value. The scenario takes its name from the file when the file
-// names itself, else from the file's basename.
+// LoadFile reads a scenario file and layers it over its base preset; see
+// Parse for the layering rules. The scenario takes its name from the file
+// when the file names itself, else from the file's basename.
 func LoadFile(path string) (*Scenario, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
+	name := filepath.Base(path)
+	return Parse(data, path, strings.TrimSuffix(name, filepath.Ext(name)))
+}
+
+// Parse layers a scenario document over its base preset: the document's
+// "extends" field names the preset ("table2" when absent); only the fields
+// the document spells out override the base. Unknown fields are an error
+// (strict decode), so a typo'd knob fails loudly instead of silently running
+// the base value. label names the document in errors (a path, a request id);
+// defaultName is the scenario name when the document does not name itself.
+// The sweep service parses request bodies through this same path, so a
+// document behaves identically on disk and over the wire.
+func Parse(data []byte, label, defaultName string) (*Scenario, error) {
 	// First pass: provenance fields only, to pick the base and to learn
-	// whether the file names itself.
+	// whether the document names itself.
 	var peek struct {
 		Name    *string `json:"name"`
 		Extends string  `json:"extends"`
 	}
 	if err := json.Unmarshal(data, &peek); err != nil {
-		return nil, fmt.Errorf("scenario %s: %w", path, err)
+		return nil, fmt.Errorf("scenario %s: %w", label, err)
 	}
 	baseName := peek.Extends
 	if baseName == "" {
@@ -52,25 +62,24 @@ func LoadFile(path string) (*Scenario, error) {
 	s, ok := Preset(baseName)
 	if !ok {
 		return nil, fmt.Errorf("scenario %s: extends unknown preset %q (have %s)",
-			path, baseName, strings.Join(PresetNames(), ", "))
+			label, baseName, strings.Join(PresetNames(), ", "))
 	}
-	// Second pass: strict-decode the file over the populated base, so JSON
-	// merge semantics apply — absent fields keep their preset values.
+	// Second pass: strict-decode the document over the populated base, so
+	// JSON merge semantics apply — absent fields keep their preset values.
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(s); err != nil {
-		return nil, fmt.Errorf("scenario %s: %w", path, err)
+		return nil, fmt.Errorf("scenario %s: %w", label, err)
 	}
 	if dec.More() {
-		return nil, fmt.Errorf("scenario %s: trailing data after document", path)
+		return nil, fmt.Errorf("scenario %s: trailing data after document", label)
 	}
 	s.Extends = baseName
 	if peek.Name == nil {
-		name := filepath.Base(path)
-		s.Name = strings.TrimSuffix(name, filepath.Ext(name))
+		s.Name = defaultName
 	}
 	if err := s.Validate(); err != nil {
-		return nil, fmt.Errorf("scenario %s: %w", path, err)
+		return nil, fmt.Errorf("scenario %s: %w", label, err)
 	}
 	return s, nil
 }

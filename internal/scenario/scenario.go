@@ -48,6 +48,13 @@ type RunOptions struct {
 	// SkipIdle enables event-driven idle-cycle skipping
 	// (exactness-preserving).
 	SkipIdle bool `json:"skip_idle"`
+	// RetryBudgetFactor scales MaxCycles on each escalated-budget retry of a
+	// timed-out sweep cell (the policy PR 1 hardcoded at 4; now a knob the
+	// CLIs and the serve daemon share).
+	RetryBudgetFactor uint64 `json:"retry_budget_factor"`
+	// MaxRetries bounds how many escalated-budget retries a timed-out cell
+	// gets before it is declared failed (0 = fail on the first timeout).
+	MaxRetries int `json:"max_retries"`
 }
 
 // ChaosOptions configure a fault-injection campaign (specasan-chaos).
@@ -97,7 +104,10 @@ type Scenario struct {
 // DefaultRunOptions match the harness defaults: full-scale kernels, the
 // sweep cycle budget, GOMAXPROCS workers, idle skipping on.
 func DefaultRunOptions() RunOptions {
-	return RunOptions{Scale: 1.0, MaxCycles: 200_000_000, Workers: 0, SkipIdle: true}
+	return RunOptions{
+		Scale: 1.0, MaxCycles: 200_000_000, Workers: 0, SkipIdle: true,
+		RetryBudgetFactor: 4, MaxRetries: 1,
+	}
 }
 
 // Validate checks the scenario strictly: schema version, machine geometry,
@@ -141,6 +151,13 @@ func (s *Scenario) Validate() error {
 	}
 	if s.Run.Workers < 0 {
 		return fmt.Errorf("scenario run: workers must be >= 0")
+	}
+	if s.Run.MaxRetries < 0 || s.Run.MaxRetries > 8 {
+		return fmt.Errorf("scenario run: max_retries must be in [0,8] (got %d)", s.Run.MaxRetries)
+	}
+	if s.Run.MaxRetries > 0 && s.Run.RetryBudgetFactor < 1 {
+		return fmt.Errorf("scenario run: retry_budget_factor must be >= 1 when max_retries > 0 (got %d)",
+			s.Run.RetryBudgetFactor)
 	}
 	if c := s.Chaos; c != nil {
 		if c.Seeds < 1 {
