@@ -52,8 +52,18 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	skipIdle := flag.Bool("skip-idle", true, "event-driven idle-cycle skipping (exactness-preserving; off walks every cycle)")
+	fastForward := flag.Uint64("fast-forward", 0,
+		"fast-forward this many instructions functionally before detailed simulation (0 = fully detailed; committed counts and output stay exact, cycles become an estimate)")
+	sampleWindows := flag.Int("sample-windows", 0,
+		"simulate this many evenly-spaced detailed windows and extrapolate cycles from their pooled IPC (requires -sample-window-insts; <=1 = tail mode / off)")
+	sampleWindowInsts := flag.Uint64("sample-window-insts", 0,
+		"instructions per detailed window for -sample-windows")
+	warmupCycles := flag.Uint64("warmup-cycles", 0,
+		"detailed warmup cycles excluded before each sampled measurement (0 = default 2000)")
 	storeDir := flag.String("store", "",
 		"result-store directory for -scenario sweeps: verified cached cells are served without simulating, cold cells persist (ignored by -fig/-all/-perf, which are pinned measurements)")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0,
+		"prune the -store directory to at most this many entry bytes on open, oldest entries first (0 = unbounded)")
 	verbose := flag.Bool("v", false, "log each run")
 	flag.Parse()
 
@@ -74,6 +84,10 @@ func main() {
 	opt.Log = os.Stderr
 	opt.Workers = *workers
 	opt.NoSkipIdle = !*skipIdle
+	opt.FastForwardInsts = *fastForward
+	opt.SampleWindows = *sampleWindows
+	opt.SampleWindowInsts = *sampleWindowInsts
+	opt.WarmupCycles = *warmupCycles
 
 	if *metricsOut != "" {
 		f, err := os.Create(*metricsOut)
@@ -129,6 +143,12 @@ func main() {
 			}
 			if st.ReadOnly() {
 				fmt.Fprintf(os.Stderr, "specasan-bench: store %s is read-only: serving cached results, not persisting new ones\n", *storeDir)
+			}
+			if removed, freed, err := st.Prune(*storeMaxBytes); err != nil {
+				fmt.Fprintln(os.Stderr, "specasan-bench:", err)
+			} else if removed > 0 {
+				fmt.Fprintf(os.Stderr, "specasan-bench: store pruned %d entries (%d bytes) to fit -store-max-bytes=%d\n",
+					removed, freed, *storeMaxBytes)
 			}
 			opt.Store = harness.DiskCellStore{S: st}
 		}
@@ -193,7 +213,8 @@ func main() {
 
 // runScenario runs the sweep a scenario describes and renders it as a
 // normalized-execution-time table. Explicitly-typed -scale/-workers/
-// -skip-idle flags override the scenario's run options; everything else
+// -skip-idle/-fast-forward/-sample-windows/-sample-window-insts/
+// -warmup-cycles flags override the scenario's run options; everything else
 // (machine, mitigation columns, workload rows) comes from the scenario. The
 // effective hash is printed on stderr and stamped into -metrics-out records.
 func runScenario(arg string, opt harness.Options, explicit map[string]bool) {
@@ -209,6 +230,21 @@ func runScenario(arg string, opt harness.Options, explicit map[string]bool) {
 	}
 	if explicit["skip-idle"] {
 		s.Run.SkipIdle = !opt.NoSkipIdle
+	}
+	if explicit["fast-forward"] {
+		s.Run.FastForwardInsts = opt.FastForwardInsts
+	}
+	if explicit["sample-windows"] {
+		s.Run.SampleWindows = opt.SampleWindows
+	}
+	if explicit["sample-window-insts"] {
+		s.Run.SampleWindowInsts = opt.SampleWindowInsts
+	}
+	if explicit["warmup-cycles"] {
+		s.Run.WarmupCycles = opt.WarmupCycles
+	}
+	if err := s.Validate(); err != nil {
+		fatal(err)
 	}
 	hash := s.Hash()
 	fmt.Fprintf(os.Stderr, "specasan-bench: scenario %s (hash %s)\n", s.Name, hash)
@@ -254,9 +290,15 @@ func runPerf(path, note string, opt harness.Options) {
 		rep.SingleCore.AllocsPerCommitted, rep.SingleCore.Workload)
 	fmt.Printf("vs baseline: %.2fx (%.0f ns/cycle before)\n",
 		rep.SingleCoreSpeedup, rep.Baseline.HostNsPerCycle)
+	fmt.Printf("golden:      %.1f simulated MIPS functional (%s)\n",
+		rep.Golden.SimMIPS, rep.Golden.Workload)
 	fmt.Printf("sweep:       %d cells in %.2fs on %d workers vs %.2fs serial (%.2fx)\n",
 		rep.Sweep.Cells, rep.Sweep.WallSeconds, rep.Sweep.Workers,
 		rep.Sweep.SerialWallSeconds, rep.Sweep.Speedup)
+	fmt.Printf("sampled:     %d windows x %d insts: %.2fs vs %.2fs full (%.2fx, max IPC delta %.2f%%)\n",
+		rep.SampledSweep.Windows, rep.SampledSweep.WindowInsts,
+		rep.SampledSweep.SampledWallSeconds, rep.SampledSweep.FullWallSeconds,
+		rep.SampledSweep.Speedup, rep.SampledSweep.MaxIPCDeltaPct)
 	fmt.Printf("report:      %s\n", path)
 	fmt.Println(notice)
 	if regressed {

@@ -55,6 +55,8 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write per-cell metrics records (JSONL, cell order) to this file")
 	storeDir := flag.String("store", "",
 		"result-store directory: verified cached campaign cells (verdicts included) are served without simulating, cold cells persist (ignored with -metrics-out, which must simulate)")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0,
+		"prune the -store directory to at most this many entry bytes on open, oldest entries first (0 = unbounded)")
 	skipIdle := flag.Bool("skip-idle", true,
 		"event-driven idle-cycle skipping; injected runs bypass it regardless (the per-cycle fault driver must see every cycle)")
 	verbose := flag.Bool("v", false, "log each run")
@@ -168,6 +170,12 @@ func main() {
 			}
 			if st.ReadOnly() {
 				fmt.Fprintf(os.Stderr, "specasan-chaos: store %s is read-only: serving cached results, not persisting new ones\n", *storeDir)
+			}
+			if removed, freed, err := st.Prune(*storeMaxBytes); err != nil {
+				fmt.Fprintln(os.Stderr, "specasan-chaos:", err)
+			} else if removed > 0 {
+				fmt.Fprintf(os.Stderr, "specasan-chaos: store pruned %d entries (%d bytes) to fit -store-max-bytes=%d\n",
+					removed, freed, *storeMaxBytes)
 			}
 			copt.Store = chaos.DiskCampaignStore{S: st}
 			copt.ResultHash = s.ResultHash()

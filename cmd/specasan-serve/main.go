@@ -33,6 +33,8 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8077", "listen address")
 	storeDir := flag.String("store", "", "result-store directory (empty: run without a store)")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0,
+		"prune the store to at most this many entry bytes on startup, oldest entries first (0 = unbounded)")
 	queue := flag.Int("queue", 256, "cell queue budget: a job is admitted only if all its cells fit")
 	workers := flag.Int("workers", 0, "cell worker pool size (0 = GOMAXPROCS)")
 	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-job wall deadline (queued cells cancel when it expires)")
@@ -40,12 +42,13 @@ func main() {
 	flag.Parse()
 
 	s, err := serve.New(serve.Config{
-		StoreDir:    *storeDir,
-		QueueDepth:  *queue,
-		Workers:     *workers,
-		JobTimeout:  *jobTimeout,
-		CellTimeout: *cellTimeout,
-		Log:         os.Stderr,
+		StoreDir:      *storeDir,
+		StoreMaxBytes: *storeMaxBytes,
+		QueueDepth:    *queue,
+		Workers:       *workers,
+		JobTimeout:    *jobTimeout,
+		CellTimeout:   *cellTimeout,
+		Log:           os.Stderr,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "specasan-serve: %v\n", err)

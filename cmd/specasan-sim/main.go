@@ -52,8 +52,18 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	skipIdle := flag.Bool("skip-idle", true, "event-driven idle-cycle skipping (exactness-preserving; off walks every cycle)")
+	fastForward := flag.Uint64("fast-forward", 0,
+		"fast-forward this many instructions functionally before detailed simulation (0 = fully detailed; committed counts and output stay exact, cycles become an estimate)")
+	sampleWindows := flag.Int("sample-windows", 0,
+		"simulate this many evenly-spaced detailed windows and extrapolate cycles from their pooled IPC (requires -sample-window-insts; <=1 = tail mode / off)")
+	sampleWindowInsts := flag.Uint64("sample-window-insts", 0,
+		"instructions per detailed window for -sample-windows")
+	warmupCycles := flag.Uint64("warmup-cycles", 0,
+		"detailed warmup cycles excluded before each sampled measurement (0 = default 2000)")
 	storeDir := flag.String("store", "",
 		"result-store directory: serve this run from the store when a verified entry exists, persist it otherwise (named kernels without trace/pipeview/metrics instrumentation only)")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0,
+		"prune the -store directory to at most this many entry bytes on open, oldest entries first (0 = unbounded)")
 	flag.Parse()
 
 	if *showConfig {
@@ -103,6 +113,18 @@ func main() {
 	if overrides("skip-idle") {
 		s.Run.SkipIdle = *skipIdle
 	}
+	if overrides("fast-forward") {
+		s.Run.FastForwardInsts = *fastForward
+	}
+	if overrides("sample-windows") {
+		s.Run.SampleWindows = *sampleWindows
+	}
+	if overrides("sample-window-insts") {
+		s.Run.SampleWindowInsts = *sampleWindowInsts
+	}
+	if overrides("warmup-cycles") {
+		s.Run.WarmupCycles = *warmupCycles
+	}
 	if err := s.Validate(); err != nil {
 		fatal(err)
 	}
@@ -125,7 +147,7 @@ func main() {
 		isFile := strings.HasPrefix(s.Workloads[0], scenario.FileWorkloadPrefix)
 		if instrumented || isFile {
 			fmt.Fprintln(os.Stderr, "specasan-sim: -store ignored (file workloads and instrumented runs always simulate, uncached)")
-		} else if err := runStored(s, mit, *storeDir); err != nil {
+		} else if err := runStored(s, mit, *storeDir, *storeMaxBytes); err != nil {
 			fatal(err)
 		} else {
 			return
@@ -141,6 +163,20 @@ func main() {
 			fmt.Fprintln(os.Stderr, "specasan-sim:", err)
 		}
 	}()
+
+	// Sampling changes what "cycles" means (a detailed-window extrapolation),
+	// so it routes through the harness instead of the plain machine loop.
+	// Cycle-exact instrumentation of the whole run is incompatible by
+	// definition: most cycles are never simulated.
+	if s.Run.Sampling() {
+		if *trace || *traceText || *pipeview > 0 {
+			fatal(fmt.Errorf("-trace/-trace-text/-pipeview need a fully detailed run; drop -fast-forward/-sample-windows"))
+		}
+		if err := runSampled(s, mit, *metricsOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	var prog *asm.Program
 	cfg := s.Machine
@@ -232,18 +268,82 @@ func main() {
 	}
 }
 
+// runSampled runs one cell in fast-forward sampling mode through the
+// harness: committed counts and output are exact, cycles are an
+// IPC-extrapolated estimate from the detailed windows.
+func runSampled(s *scenario.Scenario, mit core.Mitigation, metricsOut string) error {
+	workload := s.Workloads[0]
+	var spec *workloads.Spec
+	if path, isFile := strings.CutPrefix(workload, scenario.FileWorkloadPrefix); isFile {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		spec = &workloads.Spec{Name: path, Threads: 1, Source: string(src)}
+	} else {
+		spec = workloads.ByName(workload)
+		if spec == nil {
+			return fmt.Errorf("unknown benchmark %q (see internal/workloads)", workload)
+		}
+	}
+	opt := harness.OptionsFromScenario(s)
+	opt.Log = os.Stderr
+	var mf *os.File
+	if metricsOut != "" {
+		var err error
+		if mf, err = os.Create(metricsOut); err != nil {
+			return err
+		}
+		opt.Metrics = mf
+	}
+	r, err := harness.RunBenchmark(spec, mit, opt)
+	if mf != nil {
+		if cerr := mf.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if mf != nil {
+		fmt.Printf("metrics      %s\n", metricsOut)
+	}
+	fmt.Printf("mitigation   %s\n", mit)
+	fmt.Printf("cycles       %d\n", r.Cycles)
+	fmt.Printf("committed    %d\n", r.Committed)
+	fmt.Printf("ipc          %.3f\n", float64(r.Committed)/float64(r.Cycles))
+	if sp := r.Sampled; sp != nil {
+		fmt.Printf("sampled      %d window(s): %d insts functional, %d detailed; cycles are an estimate\n",
+			sp.Windows, sp.FunctionalInsts, sp.DetailedInsts)
+	} else {
+		fmt.Printf("sampled      no (run too short or multi-threaded; fully detailed)\n")
+	}
+	if len(r.Output) > 0 {
+		fmt.Printf("output       %q\n", r.Output)
+	}
+	fmt.Println("\ncounters:")
+	fmt.Print(harness.FormatStats(r.Stats))
+	return nil
+}
+
 // runStored runs (or serves) one named-kernel cell through the result
 // store: a verified entry for (result hash, bench, mitigation) answers
 // without simulating; a cold run simulates and persists. The printed block
 // matches the ordinary path (FormatStats sorts counters, so cached and cold
 // output are identical).
-func runStored(s *scenario.Scenario, mit core.Mitigation, dir string) error {
+func runStored(s *scenario.Scenario, mit core.Mitigation, dir string, maxBytes int64) error {
 	st, err := store.Open(dir)
 	if err != nil {
 		return err
 	}
 	if st.ReadOnly() {
 		fmt.Fprintf(os.Stderr, "specasan-sim: store %s is read-only: serving cached results, not persisting new ones\n", dir)
+	}
+	if removed, freed, err := st.Prune(maxBytes); err != nil {
+		fmt.Fprintln(os.Stderr, "specasan-sim:", err)
+	} else if removed > 0 {
+		fmt.Fprintf(os.Stderr, "specasan-sim: store pruned %d entries (%d bytes) to fit -store-max-bytes=%d\n",
+			removed, freed, maxBytes)
 	}
 	spec := workloads.ByName(s.Workloads[0])
 	if spec == nil {

@@ -67,6 +67,21 @@ func (p *Program) InstAt(addr uint64) *isa.Inst {
 	return nil
 }
 
+// InstsFrom returns the contiguous instruction run starting at addr through
+// the end of its code block, or nil if addr is not code. The golden
+// interpreter's basic-block cache decodes straight-line regions from these
+// subslices without per-instruction lookups.
+func (p *Program) InstsFrom(addr uint64) []isa.Inst {
+	for i := range p.Code {
+		b := &p.Code[i]
+		end := b.Addr + uint64(len(b.Insts))*isa.InstBytes
+		if addr >= b.Addr && addr < end && (addr-b.Addr)%isa.InstBytes == 0 {
+			return b.Insts[(addr-b.Addr)/isa.InstBytes:]
+		}
+	}
+	return nil
+}
+
 // NumInsts returns the total number of assembled instructions.
 func (p *Program) NumInsts() int {
 	n := 0

@@ -70,12 +70,31 @@ func fuzzDiffGolden(t *testing.T, mit core.Mitigation, src string) {
 		t.Skip("golden inconclusive (budget exhausted)")
 	}
 
-	m, err := NewMachine(core.DefaultConfig(), mit, prog)
-	if err != nil {
-		t.Skip("machine rejects program")
+	// CI runs the fuzz smoke in three modes: both time-advance modes
+	// (skipping is meant to be invisible, so the divergence hunt must cover
+	// both) and, with SPECASAN_FAST_FORWARD, through the sampled-simulation
+	// seam — half the program executes on a second golden interpreter, the
+	// snapshot transplants into the machine, and the final state must still
+	// match the full golden walk bit for bit.
+	var m *Machine
+	if os.Getenv("SPECASAN_FAST_FORWARD") != "" && gres.Insts >= 2 {
+		ff := golden.New(prog)
+		ff.MTEOn = mit.MTEEnabled()
+		ff.TagSeed = TagSeedBase
+		if fres := ff.Run(gres.Insts / 2); fres.Reason != golden.StopMaxInsts {
+			t.Fatalf("fast-forward of %d insts stopped early: %v (full walk ran %d)",
+				gres.Insts/2, fres.Reason, gres.Insts)
+		}
+		m, err = NewMachineAt(core.DefaultConfig(), mit, prog, ff.Snapshot())
+		if err != nil {
+			t.Skip("machine rejects transplant")
+		}
+	} else {
+		m, err = NewMachine(core.DefaultConfig(), mit, prog)
+		if err != nil {
+			t.Skip("machine rejects program")
+		}
 	}
-	// CI runs the fuzz smoke in both time-advance modes (skipping is meant
-	// to be invisible, so the divergence hunt must cover both).
 	if os.Getenv("SPECASAN_NO_SKIP_IDLE") != "" {
 		m.SkipIdle = false
 	}

@@ -101,12 +101,20 @@ type Machine struct {
 // runs all cores share the program (SPMD) and the memory image; per-core
 // behaviour is steered through registers set with Core.SetReg.
 func NewMachine(cfg core.Config, mit core.Mitigation, prog *asm.Program) (*Machine, error) {
+	img := mem.NewImage()
+	img.LoadProgram(prog)
+	return newMachineOn(cfg, mit, prog, img)
+}
+
+// newMachineOn builds a machine over a caller-supplied memory image (already
+// loaded; the machine takes ownership). The state-transplant constructor
+// NewMachineAt enters here with a golden-interpreter memory snapshot instead
+// of a freshly loaded program image.
+func newMachineOn(cfg core.Config, mit core.Mitigation, prog *asm.Program, img *mem.Image) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	pol := mit.Descriptor()
-	img := mem.NewImage()
-	img.LoadProgram(prog)
 	oracle := core.NewOracle()
 	hier, err := cache.NewHierarchy(cache.HierConfig{
 		Cores:     cfg.Cores,
@@ -245,9 +253,35 @@ func (r *RunResult) TimedOutCores() []int {
 // machine watchdog additionally stops the run when a core wedges (no commit
 // progress) or breaks a pipeline invariant, reporting it in RunResult.Err.
 func (m *Machine) Run(maxCycles uint64) *RunResult {
+	return m.run(maxCycles, nil)
+}
+
+// RunUntilCommitted executes until the machine-wide committed-instruction
+// count reaches target, every core halts, or maxCycles elapse — the
+// instruction-bounded run the sampled-window harness uses to measure a
+// fixed-length detailed window. The target is a floor, not an exact stop:
+// a multi-issue commit stage can overshoot it by up to CommitWidth-1.
+func (m *Machine) RunUntilCommitted(target, maxCycles uint64) *RunResult {
+	return m.run(maxCycles, func() bool {
+		var total uint64
+		for _, c := range m.Cores {
+			total += c.Committed()
+		}
+		return total >= target
+	})
+}
+
+// run is the shared Run loop; stop, when non-nil, is an extra termination
+// condition checked after every step.
+func (m *Machine) run(maxCycles uint64, stop func() bool) *RunResult {
 	var simErr *SimError
+	var stopped bool
 	m.skipLimit = maxCycles
 	for m.cycle < maxCycles && !m.Done() {
+		if stop != nil && stop() {
+			stopped = true
+			break
+		}
 		m.Step()
 		if m.Watchdog != nil {
 			if simErr = m.Watchdog.Check(m); simErr != nil {
@@ -255,7 +289,7 @@ func (m *Machine) Run(maxCycles uint64) *RunResult {
 			}
 		}
 	}
-	res := &RunResult{Cycles: m.cycle, TimedOut: !m.Done(), FaultCore: -1, Err: simErr}
+	res := &RunResult{Cycles: m.cycle, TimedOut: !m.Done() && !stopped, FaultCore: -1, Err: simErr}
 	if simErr != nil {
 		res.TimedOut = false // the watchdog verdict supersedes the budget
 	}

@@ -61,12 +61,29 @@ type Interp struct {
 	MTEOn   bool   // enforce tag checks on (committed) accesses
 	TagSeed uint64 // IRG determinism seed; must match the timed core's
 
+	// Touch, when set, records the run's memory touches for post-transplant
+	// cache warming (touch.go). Nil (the default) costs one predictable
+	// branch per memory operation.
+	Touch *TouchRing
+
 	regs   [isa.NumRegs]uint64
 	flags  isa.Flags
 	pc     uint64
 	cycles uint64 // synthetic "cycle" count: 1 per instruction
 	output []byte
+
+	// blocks is the lazily-built basic-block decode cache (bbcache.go).
+	// Keyed by block entry PC; suffix blocks appear when control enters the
+	// middle of an already-decoded block.
+	blocks map[uint64]*bblock
+
+	// Direct-mapped page TLB for the load/store fast path (bbcache.go).
+	tlb [tlbWays]tlbEntry
 }
+
+// The TLB fast path hardcodes the page geometry; refuse to compile if mem
+// ever changes it.
+var _ [0]struct{} = [mem.PageBytes - mem4kMask - 1]struct{}{}
 
 // New returns an interpreter over prog with its data loaded into a fresh
 // memory image.
@@ -104,8 +121,63 @@ func (ip *Interp) write(r isa.Reg, v uint64) {
 	}
 }
 
-// Run executes up to maxInsts instructions and returns the final state.
+// Run executes up to maxInsts instructions and returns the final state. It
+// dispatches over the basic-block decode cache; runNaive keeps the original
+// one-instruction-at-a-time loop as the in-package reference the cache is
+// tested bit-identical against.
 func (ip *Interp) Run(maxInsts uint64) *Result {
+	var n uint64
+	var reason StopReason
+	b := ip.blockAt(ip.pc)
+	for n < maxInsts {
+		if b == nil {
+			return ip.result(StopBadPC, n)
+		}
+		if ip.Touch != nil {
+			ip.Touch.add(b.addr&^3 | touchIfetch)
+		}
+		limit := len(b.uops)
+		if rem := maxInsts - n; uint64(limit) > rem {
+			limit = int(rem)
+		}
+		retired, ctrl := ip.exec(b, limit, &reason)
+		n += retired
+		switch ctrl {
+		case ctrlStop:
+			return ip.result(reason, n)
+		case ctrlFallthrough:
+			// Fallthrough and not-taken edges land at the block's end
+			// address; a budget stop mid-block lands inside it, which the
+			// addr check keeps out of the chain cache (the suffix block it
+			// decodes still seeds the next Run call).
+			nb := b.next
+			if nb == nil || nb.addr != ip.pc {
+				nb = ip.blockAt(ip.pc)
+				if nb != nil && nb.addr == b.endAddr() {
+					b.next = nb
+				}
+			}
+			b = nb
+		case ctrlTaken:
+			// Direct branches have a static target, so the taken edge is
+			// cacheable on the block.
+			nb := b.takenBlk
+			if nb == nil || nb.addr != ip.pc {
+				nb = ip.blockAt(ip.pc)
+				b.takenBlk = nb
+			}
+			b = nb
+		case ctrlIndirect:
+			b = ip.blockAt(ip.pc)
+		}
+	}
+	return ip.result(StopMaxInsts, n)
+}
+
+// runNaive is the pre-cache interpreter loop, kept verbatim as the reference
+// semantics for the block-cached engine. Tests drive both engines in
+// lockstep; production code always takes Run.
+func (ip *Interp) runNaive(maxInsts uint64) *Result {
 	for n := uint64(0); n < maxInsts; n++ {
 		in := ip.Prog.InstAt(ip.pc)
 		if in == nil {
@@ -119,6 +191,40 @@ func (ip *Interp) Run(maxInsts uint64) *Result {
 	}
 	return ip.result(StopMaxInsts, maxInsts)
 }
+
+// State is a snapshot of the interpreter's full architectural state:
+// registers, flags, PC, the program output so far, and a deep copy of memory
+// including the MTE tag sidecars. It is the transplant seam for fast-forward
+// sampling — cpu.NewMachineAt installs a State into a fresh cycle-accurate
+// machine.
+type State struct {
+	PC    uint64
+	Regs  [isa.NumRegs]uint64
+	Flags isa.Flags
+	// Insts is the cumulative instruction count since New; it is also the
+	// value the synthetic MRS cycle counter would read next.
+	Insts  uint64
+	Output []byte
+	Mem    *mem.Image
+}
+
+// Snapshot deep-copies the interpreter's architectural state. The
+// interpreter remains runnable; the snapshot does not alias its memory.
+func (ip *Interp) Snapshot() *State {
+	st := &State{
+		PC: ip.pc, Regs: ip.regs, Flags: ip.flags, Insts: ip.cycles,
+		Output: append([]byte(nil), ip.output...),
+		Mem:    ip.Mem.Clone(),
+	}
+	st.Regs[isa.XZR] = 0
+	return st
+}
+
+// PC returns the current program counter.
+func (ip *Interp) PC() uint64 { return ip.pc }
+
+// Insts returns the cumulative instruction count since New.
+func (ip *Interp) Insts() uint64 { return ip.cycles }
 
 func (ip *Interp) result(reason StopReason, n uint64) *Result {
 	r := &Result{Reason: reason, Insts: n, PC: ip.pc, Regs: ip.regs,

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"specasan/internal/core"
+	"specasan/internal/obs"
 	"specasan/internal/scenario"
 	"specasan/internal/stats"
 	"specasan/internal/store"
@@ -21,14 +22,19 @@ const CellSchema = "specasan-cell/v1"
 // same cell produce identical bytes, which is what the store's byte-identity
 // contract serves back.
 type CellResult struct {
-	Schema     string            `json:"schema"`
-	Bench      string            `json:"bench"`
-	Mitigation string            `json:"mitigation"`
-	Cycles     uint64            `json:"cycles"`
-	Committed  uint64            `json:"committed"`
-	Restricted uint64            `json:"restricted"`
-	Output     string            `json:"output,omitempty"`
-	Counters   map[string]uint64 `json:"counters,omitempty"`
+	Schema     string `json:"schema"`
+	Bench      string `json:"bench"`
+	Mitigation string `json:"mitigation"`
+	Cycles     uint64 `json:"cycles"`
+	Committed  uint64 `json:"committed"`
+	Restricted uint64 `json:"restricted"`
+	Output     string `json:"output,omitempty"`
+	// Sampled marks a fast-forward sampled result; nil (omitted) for full
+	// detailed runs, so pre-sampling entries stay valid under the same
+	// schema. Sampled and full runs never share a key: the sampling knobs
+	// are part of the scenario's result-context hash.
+	Sampled  *obs.SampledRegions `json:"sampled,omitempty"`
+	Counters map[string]uint64   `json:"counters,omitempty"`
 }
 
 // CellResultOf converts a cold run's PerfResult into its cacheable form.
@@ -41,6 +47,7 @@ func CellResultOf(r *PerfResult) *CellResult {
 		Committed:  r.Committed,
 		Restricted: r.Restricted,
 		Output:     r.Output,
+		Sampled:    r.Sampled,
 	}
 	if r.Stats != nil {
 		c.Counters = make(map[string]uint64, len(r.Stats.Keys()))
@@ -81,6 +88,7 @@ func (c *CellResult) PerfResult() (*PerfResult, error) {
 		Restricted: c.Restricted,
 		Output:     c.Output,
 		Stats:      set,
+		Sampled:    c.Sampled,
 	}, nil
 }
 

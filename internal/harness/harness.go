@@ -76,6 +76,43 @@ type Options struct {
 	// (scenario.ResultHash). Empty disables the cache even when Store is
 	// set — results without a scenario identity are not addressable.
 	ResultHash string
+
+	// FastForwardInsts, when > 0, runs the first N instructions of every
+	// single-core cell on the functional golden interpreter, transplants the
+	// architectural state into a fresh detailed machine (cpu.NewMachineAt),
+	// and simulates the remainder cycle-accurately ("tail mode"; see
+	// sample.go). Multi-threaded cells and programs shorter than N fall back
+	// to full detailed runs.
+	FastForwardInsts uint64
+	// SampleWindows, when > 1, switches to windowed sampling: that many
+	// evenly-spaced detailed windows of SampleWindowInsts instructions each,
+	// whole-run cycles extrapolated from their pooled post-warmup IPC.
+	SampleWindows int
+	// SampleWindowInsts is the detailed length of each sampled window
+	// (required when SampleWindows > 1).
+	SampleWindowInsts uint64
+	// WarmupCycles is the micro-architectural warmup budget after each state
+	// transplant (cold caches, predictors, TSH): detailed cycles whose
+	// counters are excluded from IPC estimates. 0 means DefaultWarmupCycles.
+	WarmupCycles uint64
+}
+
+// Sampling reports whether the options select fast-forward sampled runs.
+func (o *Options) Sampling() bool {
+	return o.FastForwardInsts > 0 || o.SampleWindows > 1
+}
+
+// DefaultWarmupCycles is the warmup budget used when WarmupCycles is 0 —
+// both by sampled runs after a transplant and by the -perf steady-state
+// measurement (the knob PR 1-6 hardcoded as perfWarmupSteps).
+const DefaultWarmupCycles = 2000
+
+// warmup resolves the zero-value convention.
+func (o *Options) warmup() uint64 {
+	if o.WarmupCycles > 0 {
+		return o.WarmupCycles
+	}
+	return DefaultWarmupCycles
 }
 
 // RetryPolicy tunes how RunCell retries cells that exhaust their cycle
@@ -129,11 +166,30 @@ type PerfResult struct {
 	Restricted uint64 // committed instructions the mitigation delayed
 	Output     string // core 0's console output, if the kernel printed
 	Stats      *stats.Set
+	// Sampled, when non-nil, marks a fast-forward sampled run: Cycles (and
+	// Restricted) are extrapolated from the detailed regions it describes;
+	// Committed and Output are exact.
+	Sampled *obs.SampledRegions
 }
 
 // RunBenchmark executes one kernel under one mitigation and returns its
-// timing. MTE-based mitigations run the tagged build.
+// timing. MTE-based mitigations run the tagged build. With sampling options
+// set (Options.Sampling) single-core cells run in fast-forward sampled mode;
+// multi-threaded cells and programs too short to sample fall back to the
+// full detailed run below.
 func RunBenchmark(spec *workloads.Spec, mit core.Mitigation, opt Options) (*PerfResult, error) {
+	if opt.Sampling() {
+		if spec.Threads == 1 {
+			r, err := runSampled(spec, mit, opt)
+			if !errors.Is(err, errSampleTooShort) {
+				return r, err
+			}
+			opt.logf("  %-18s %-12s too short to sample; full detailed run", spec.Name, mit)
+		} else {
+			opt.logf("  %-18s %-12s sampling skipped (%d threads); full detailed run",
+				spec.Name, mit, spec.Threads)
+		}
+	}
 	prog, err := spec.Build(mit.MTEEnabled(), opt.Scale)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", spec.Name, err)

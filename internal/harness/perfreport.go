@@ -9,6 +9,7 @@ import (
 
 	"specasan/internal/core"
 	"specasan/internal/cpu"
+	"specasan/internal/golden"
 	"specasan/internal/isa"
 	"specasan/internal/par"
 	"specasan/internal/workloads"
@@ -18,9 +19,13 @@ import (
 // (the cross-PR perf trajectory; a v1 file's single measurement becomes
 // history[0] on upgrade), splits host-loop steps from simulated cycles in
 // the single-core block (they differ under idle-cycle skipping), and pins
-// the sweep measurement to workers=GOMAXPROCS.
+// the sweep measurement to workers=GOMAXPROCS. v3 adds the golden
+// interpreter's functional throughput and a sampled-vs-full sweep leg
+// (fast-forward sampling), and reports the warmup knob the single-core
+// measurement used.
 const (
-	PerfSchema   = "specasan-bench/perf/v2"
+	PerfSchema   = "specasan-bench/perf/v3"
+	perfSchemaV2 = "specasan-bench/perf/v2"
 	perfSchemaV1 = "specasan-bench/perf/v1"
 )
 
@@ -62,6 +67,32 @@ type SingleCorePerf struct {
 	AllocsPerCommitted float64 `json:"allocs_per_committed_instr"`
 }
 
+// GoldenPerf is the functional-interpreter measurement: how fast the golden
+// path (the fast-forward engine of sampled simulation) retires instructions
+// on the same recipe as the single-core block.
+type GoldenPerf struct {
+	Workload string  `json:"workload"`
+	Insts    uint64  `json:"insts_simulated"`
+	SimMIPS  float64 `json:"simulated_mips"`
+}
+
+// SampledSweepPerf is the end-to-end sampled-simulation measurement: the
+// same sweep run fully detailed and with windowed fast-forward sampling,
+// plus the worst-case IPC disagreement between the two, so the speedup is
+// never quoted without its accuracy cost.
+type SampledSweepPerf struct {
+	Workloads          int     `json:"workloads"`
+	Mitigations        int     `json:"mitigations"`
+	Cells              int     `json:"cells"`
+	Scale              float64 `json:"scale"`
+	Windows            int     `json:"sample_windows"`
+	WindowInsts        uint64  `json:"sample_window_insts"`
+	FullWallSeconds    float64 `json:"full_wall_seconds"`
+	SampledWallSeconds float64 `json:"sampled_wall_seconds"`
+	Speedup            float64 `json:"speedup_vs_full"`
+	MaxIPCDeltaPct     float64 `json:"max_ipc_delta_pct"`
+}
+
 // SweepPerf is the harness-level measurement: wall time of one normalized-
 // execution-time sweep on the worker pool, against the serial path on the
 // same host and inputs.
@@ -92,19 +123,25 @@ type PerfHistoryEntry struct {
 	SweepSpeedup   float64 `json:"sweep_speedup_vs_serial"`
 	SweepWorkers   int     `json:"sweep_workers"`
 	GoMaxProcs     int     `json:"gomaxprocs"`
+	// GoldenMIPS and SampledSweepSpeedup arrive with the v3 schema; entries
+	// recorded before it carry zero and marshal without the fields.
+	GoldenMIPS          float64 `json:"golden_mips,omitempty"`
+	SampledSweepSpeedup float64 `json:"sampled_sweep_speedup_vs_full,omitempty"`
 }
 
 // PerfReport is the schema of BENCH_sim.json, the tracked performance
 // baseline of the simulator substrate.
 type PerfReport struct {
-	Schema            string         `json:"schema"`
-	GeneratedAt       string         `json:"generated_at"`
-	ScenarioHash      string         `json:"scenario_hash,omitempty"`
-	GoMaxProcs        int            `json:"gomaxprocs"`
-	SingleCore        SingleCorePerf `json:"single_core"`
-	Sweep             SweepPerf      `json:"sweep"`
-	Baseline          PerfBaseline   `json:"baseline"`
-	SingleCoreSpeedup float64        `json:"single_core_speedup_vs_baseline"`
+	Schema            string           `json:"schema"`
+	GeneratedAt       string           `json:"generated_at"`
+	ScenarioHash      string           `json:"scenario_hash,omitempty"`
+	GoMaxProcs        int              `json:"gomaxprocs"`
+	SingleCore        SingleCorePerf   `json:"single_core"`
+	Golden            GoldenPerf       `json:"golden"`
+	Sweep             SweepPerf        `json:"sweep"`
+	SampledSweep      SampledSweepPerf `json:"sampled_sweep"`
+	Baseline          PerfBaseline     `json:"baseline"`
+	SingleCoreSpeedup float64          `json:"single_core_speedup_vs_baseline"`
 	// History holds every measurement ever recorded, oldest first, ending
 	// with this report's own headline entry.
 	History []PerfHistoryEntry `json:"history"`
@@ -121,6 +158,9 @@ func (r *PerfReport) HistoryEntry(description string) PerfHistoryEntry {
 		SweepSpeedup:   r.Sweep.Speedup,
 		SweepWorkers:   r.Sweep.Workers,
 		GoMaxProcs:     r.GoMaxProcs,
+
+		GoldenMIPS:          r.Golden.SimMIPS,
+		SampledSweepSpeedup: r.SampledSweep.Speedup,
 	}
 }
 
@@ -143,7 +183,9 @@ func LoadPerfHistory(path string) ([]PerfHistoryEntry, error) {
 	switch old.Schema {
 	case perfSchemaV1:
 		return []PerfHistoryEntry{old.HistoryEntry("v1 report (pre-history)")}, nil
-	case PerfSchema:
+	case perfSchemaV2, PerfSchema:
+		// v2 entries simply lack the v3 fields (golden MIPS, sampled
+		// speedup); the history array itself is forward-compatible.
 		return old.History, nil
 	default:
 		return nil, fmt.Errorf("%s: unknown perf schema %q", path, old.Schema)
@@ -156,7 +198,21 @@ func LoadPerfHistory(path string) ([]PerfHistoryEntry, error) {
 const (
 	perfWorkloadName  = "508.namd_r"
 	perfWorkloadScale = 10
-	perfWarmupSteps   = 2000
+)
+
+// Fixed recipe for the sampled-sweep leg: windowed sampling with enough
+// windows to exercise the transplant seam repeatedly but a small enough
+// detailed fraction that the leg demonstrates the mode's point.
+const (
+	perfSampleWindows     = 4
+	perfSampleWindowInsts = 20_000
+	perfGoldenInsts       = 20_000_000
+	// The sampled-vs-full comparison runs at the single-core recipe's scale
+	// (sampling exists for scale >> 1 workloads; measuring it at scale 1
+	// would understate both legs) on a workload subset, because the full
+	// detailed leg at this scale costs ~10x the scale-1 sweep per cell.
+	perfSampledScale     = 10
+	perfSampledWorkloads = 4
 )
 
 func perfMachine() (*cpu.Machine, int, error) {
@@ -192,12 +248,15 @@ func machineCommitted(m *cpu.Machine, cores int) uint64 {
 // reports host ns per simulated cycle, simulated instruction throughput, and
 // allocation counts (from runtime.MemStats deltas, so the figure includes
 // every allocation the step path causes, not just those in internal/cpu).
-func MeasureSingleCore(steps uint64) (SingleCorePerf, error) {
+// warmup is the step count excluded up front — the same knob sampled
+// simulation uses for its detailed windows (Options.WarmupCycles; pass
+// DefaultWarmupCycles for the historical recipe).
+func MeasureSingleCore(steps, warmup uint64) (SingleCorePerf, error) {
 	m, cores, err := perfMachine()
 	if err != nil {
 		return SingleCorePerf{}, err
 	}
-	for i := 0; i < perfWarmupSteps && !m.Done(); i++ {
+	for i := uint64(0); i < warmup && !m.Done(); i++ {
 		m.Step()
 	}
 	if m.Done() {
@@ -236,6 +295,100 @@ func MeasureSingleCore(steps uint64) (SingleCorePerf, error) {
 	}, nil
 }
 
+// MeasureGolden measures the functional interpreter's throughput on the
+// fixed recipe: fresh full walks (cold basic-block cache each time, the way
+// sampling uses it) until at least `insts` instructions have retired.
+func MeasureGolden(insts uint64) (GoldenPerf, error) {
+	spec := workloads.ByName(perfWorkloadName)
+	if spec == nil {
+		return GoldenPerf{}, fmt.Errorf("workload %s missing", perfWorkloadName)
+	}
+	prog, err := spec.Build(false, perfWorkloadScale)
+	if err != nil {
+		return GoldenPerf{}, err
+	}
+	// One throwaway walk so the measurement sees a hot host (branch
+	// predictors, page cache), matching MeasureSingleCore's warmup intent.
+	golden.New(prog).Run(insts)
+	var done uint64
+	start := time.Now()
+	for done < insts {
+		res := golden.New(prog).Run(insts)
+		if res.Insts == 0 {
+			return GoldenPerf{}, fmt.Errorf("golden walk retired nothing (%v)", res.Reason)
+		}
+		done += res.Insts
+	}
+	wall := time.Since(start)
+	return GoldenPerf{
+		Workload: perfWorkloadName,
+		Insts:    done,
+		SimMIPS:  float64(done) / wall.Seconds() / 1e6,
+	}, nil
+}
+
+// MeasureSampledSweep times the same sweep fully detailed and under windowed
+// fast-forward sampling (opt's sampling knobs, or the fixed recipe when
+// unset), and reports the speedup together with the worst per-cell IPC
+// disagreement. The cache is disabled for both legs — this measures
+// simulation, not the store.
+func MeasureSampledSweep(specs []*workloads.Spec, mits []core.Mitigation, opt Options) (SampledSweepPerf, error) {
+	opt.Verbose, opt.Log = false, nil
+	opt.Store, opt.ResultHash = nil, ""
+	if !opt.Sampling() {
+		opt.SampleWindows = perfSampleWindows
+		opt.SampleWindowInsts = perfSampleWindowInsts
+	}
+
+	full := opt
+	full.FastForwardInsts, full.SampleWindows, full.SampleWindowInsts = 0, 0, 0
+	start := time.Now()
+	fs, err := RunSweep(specs, mits, full)
+	if err != nil {
+		return SampledSweepPerf{}, err
+	}
+	fullWall := time.Since(start)
+
+	start = time.Now()
+	ss, err := RunSweep(specs, mits, opt)
+	if err != nil {
+		return SampledSweepPerf{}, err
+	}
+	sampledWall := time.Since(start)
+
+	var maxDelta float64
+	for _, b := range fs.Benchmarks {
+		for _, m := range fs.Mitigations {
+			fr, sr := fs.Results[b][m], ss.Results[b][m]
+			if fr == nil || sr == nil || fr.Cycles == 0 || sr.Cycles == 0 {
+				continue
+			}
+			fipc := float64(fr.Committed) / float64(fr.Cycles)
+			sipc := float64(sr.Committed) / float64(sr.Cycles)
+			if d := (sipc - fipc) / fipc * 100; d > maxDelta {
+				maxDelta = d
+			} else if -d > maxDelta {
+				maxDelta = -d
+			}
+		}
+	}
+	sp := SampledSweepPerf{
+		Workloads:          len(specs),
+		Mitigations:        len(mits),
+		Cells:              len(specs) * len(mits),
+		Scale:              opt.Scale,
+		Windows:            opt.SampleWindows,
+		WindowInsts:        opt.SampleWindowInsts,
+		FullWallSeconds:    fullWall.Seconds(),
+		SampledWallSeconds: sampledWall.Seconds(),
+		MaxIPCDeltaPct:     maxDelta,
+	}
+	if sampledWall > 0 {
+		sp.Speedup = fullWall.Seconds() / sampledWall.Seconds()
+	}
+	return sp, nil
+}
+
 // MeasureSweep times one Figure 6-style sweep twice — serial, then on the
 // worker pool — and reports both wall times. Logging is disabled for the
 // measurement; the determinism tests cover output equivalence separately.
@@ -272,17 +425,37 @@ func MeasureSweep(specs []*workloads.Spec, mits []core.Mitigation, opt Options) 
 	return sp, nil
 }
 
-// MeasurePerf produces the full report: single-core steady state plus the
-// serial-vs-parallel sweep comparison. The sweep's parallel leg is always
-// measured at workers=GOMAXPROCS (the v2 schema pins this so the recorded
-// speedup_vs_serial is meaningful), overriding any opt.Workers value.
+// MeasurePerf produces the full report: single-core steady state, golden
+// interpreter throughput, the serial-vs-parallel sweep comparison, and the
+// sampled-vs-full sweep comparison. The sweep legs are always measured at
+// workers=GOMAXPROCS (the schema pins this so the recorded speedups are
+// meaningful), overriding any opt.Workers value. Warmup for the single-core
+// leg comes from opt's WarmupCycles knob (DefaultWarmupCycles when unset).
 func MeasurePerf(steps uint64, specs []*workloads.Spec, mits []core.Mitigation, opt Options) (*PerfReport, error) {
-	single, err := MeasureSingleCore(steps)
+	single, err := MeasureSingleCore(steps, opt.warmup())
+	if err != nil {
+		return nil, err
+	}
+	gold, err := MeasureGolden(perfGoldenInsts)
 	if err != nil {
 		return nil, err
 	}
 	opt.Workers = 0 // par.Workers maps 0 to GOMAXPROCS
 	sweep, err := MeasureSweep(specs, mits, opt)
+	if err != nil {
+		return nil, err
+	}
+	// The sampled comparison is pinned at scale perfSampledScale on the
+	// first perfSampledWorkloads specs — the workload regime sampling is
+	// for, kept to a subset so the fully-detailed reference leg stays
+	// affordable.
+	sopt := opt
+	sopt.Scale = perfSampledScale
+	sspecs := specs
+	if len(sspecs) > perfSampledWorkloads {
+		sspecs = sspecs[:perfSampledWorkloads]
+	}
+	sampled, err := MeasureSampledSweep(sspecs, mits, sopt)
 	if err != nil {
 		return nil, err
 	}
@@ -292,9 +465,11 @@ func MeasurePerf(steps uint64, specs []*workloads.Spec, mits []core.Mitigation, 
 		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
 		ScenarioHash: opt.ScenarioHash,
 		GoMaxProcs:   runtime.GOMAXPROCS(0),
-		SingleCore:  single,
-		Sweep:       sweep,
-		Baseline:    base,
+		SingleCore:   single,
+		Golden:       gold,
+		Sweep:        sweep,
+		SampledSweep: sampled,
+		Baseline:     base,
 	}
 	if single.HostNsPerCycle > 0 {
 		rep.SingleCoreSpeedup = base.HostNsPerCycle / single.HostNsPerCycle

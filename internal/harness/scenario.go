@@ -18,13 +18,17 @@ func OptionsFromScenario(s *scenario.Scenario) Options {
 		retries = -1 // the scenario knob is explicit: 0 means no retries
 	}
 	return Options{
-		Scale:        s.Run.Scale,
-		MaxCycles:    s.Run.MaxCycles,
-		Workers:      s.Run.Workers,
-		NoSkipIdle:   !s.Run.SkipIdle,
-		Config:       &cfg,
-		ScenarioHash: s.Hash(),
-		ResultHash:   s.ResultHash(),
+		Scale:             s.Run.Scale,
+		MaxCycles:         s.Run.MaxCycles,
+		Workers:           s.Run.Workers,
+		NoSkipIdle:        !s.Run.SkipIdle,
+		FastForwardInsts:  s.Run.FastForwardInsts,
+		SampleWindows:     s.Run.SampleWindows,
+		SampleWindowInsts: s.Run.SampleWindowInsts,
+		WarmupCycles:      s.Run.WarmupCycles,
+		Config:            &cfg,
+		ScenarioHash:      s.Hash(),
+		ResultHash:        s.ResultHash(),
 		Retry: RetryPolicy{
 			BudgetFactor: s.Run.RetryBudgetFactor,
 			MaxRetries:   retries,

@@ -67,6 +67,53 @@ func NewImage() *Image {
 	return m
 }
 
+// FrameAt returns the data and tag-lock slices of the mapped 4 KiB page
+// containing addr (key bits ignored), or nils when the page is unmapped. The
+// slices alias the live page: callers may read and write data through them
+// but must treat the lock slice as read-only (lock writes go through Tags so
+// the tagged-granule accounting stays correct). The golden interpreter uses
+// this as a one-entry TLB on its load/store fast path.
+func (m *Image) FrameAt(addr uint64) ([]byte, []mte.Tag) {
+	if p := m.pageAt(mte.Strip(addr) >> pageShift); p != nil {
+		return p.data[:], p.locks[:]
+	}
+	return nil, nil
+}
+
+// FrameFor is FrameAt but maps the page when absent (the store path).
+func (m *Image) FrameFor(addr uint64) ([]byte, []mte.Tag) {
+	p := m.pageFor(mte.Strip(addr) >> pageShift)
+	return p.data[:], p.locks[:]
+}
+
+// Clone returns a deep copy of the image: every mapped page frame is copied
+// including its MTE tag sidecar, and the copy gets its own tag-storage view.
+// Writes to either image never alias the other. This is the memory half of
+// the golden-interpreter state transplant.
+func (m *Image) Clone() *Image {
+	c := &Image{numPages: m.numPages, tagged: m.tagged}
+	c.Tags = mte.NewStorageOn(c)
+	if m.root != nil {
+		c.root = make([]*page, len(m.root))
+		for pn, p := range m.root {
+			if p != nil {
+				cp := new(page)
+				*cp = *p
+				c.root[pn] = cp
+			}
+		}
+	}
+	if m.high != nil {
+		c.high = make(map[uint64]*page, len(m.high))
+		for pn, p := range m.high {
+			cp := new(page)
+			*cp = *p
+			c.high[pn] = cp
+		}
+	}
+	return c
+}
+
 // pageAt returns the frame for page number pn, or nil when unmapped.
 func (m *Image) pageAt(pn uint64) *page {
 	if pn < uint64(len(m.root)) {
@@ -181,7 +228,7 @@ func (m *Image) Write(addr uint64, b []byte) {
 		if uint64(len(b)) < n {
 			n = uint64(len(b))
 		}
-		copy(m.pageFor(addr>>pageShift).data[off:off+n], b[:n])
+		copy(m.pageFor(addr >> pageShift).data[off:off+n], b[:n])
 		addr += n
 		b = b[n:]
 	}
@@ -208,7 +255,7 @@ func (m *Image) ReadU64(addr uint64) uint64 {
 func (m *Image) WriteU64(addr uint64, v uint64) {
 	addr = mte.Strip(addr)
 	if off := addr & pageMask; off <= pageBytes-8 {
-		binary.LittleEndian.PutUint64(m.pageFor(addr>>pageShift).data[off:off+8], v)
+		binary.LittleEndian.PutUint64(m.pageFor(addr >> pageShift).data[off:off+8], v)
 		return
 	}
 	for i := uint64(0); i < 8; i++ {

@@ -26,6 +26,26 @@ type HistSummary struct {
 	Counts      []uint64 `json:"counts,omitempty"`
 }
 
+// SampledRegions annotates a fast-forward sampled run: how much of it ran
+// functionally (no histograms, no cycle cost) versus in detailed windows
+// (where every histogram sample comes from). Consumers must read a record
+// carrying this as "histograms cover the detailed regions only, cycle/inst
+// totals are extrapolated".
+type SampledRegions struct {
+	// FunctionalInsts is the instruction count executed on the golden
+	// interpreter (fast-forward), contributing nothing to the histograms.
+	FunctionalInsts uint64 `json:"functional_insts"`
+	// DetailedInsts / DetailedCycles are the cycle-accurate region's totals,
+	// warmup included.
+	DetailedInsts  uint64 `json:"detailed_insts"`
+	DetailedCycles uint64 `json:"detailed_cycles"`
+	// WarmupCycles is the detailed prefix (per window) excluded from the IPC
+	// estimate the extrapolated totals are built on.
+	WarmupCycles uint64 `json:"warmup_cycles"`
+	// Windows is the detailed-window count (1 = tail mode).
+	Windows int `json:"windows"`
+}
+
 // MetricsRecord is one JSONL line: which cell produced it plus every
 // registered histogram in registration order.
 type MetricsRecord struct {
@@ -35,10 +55,13 @@ type MetricsRecord struct {
 	// ScenarioHash is the canonical content hash of the scenario that
 	// produced this record (internal/scenario), empty for ad-hoc runs.
 	// omitempty keeps pre-scenario streams byte-identical.
-	ScenarioHash string        `json:"scenario_hash,omitempty"`
-	Cycles       uint64        `json:"cycles,omitempty"`
-	Insts        uint64        `json:"insts,omitempty"`
-	Histograms   []HistSummary `json:"histograms"`
+	ScenarioHash string `json:"scenario_hash,omitempty"`
+	Cycles       uint64 `json:"cycles,omitempty"`
+	Insts        uint64 `json:"insts,omitempty"`
+	// Sampled marks a fast-forward sampled run; nil (omitted) for full
+	// detailed runs, keeping pre-sampling streams byte-identical.
+	Sampled    *SampledRegions `json:"sampled,omitempty"`
+	Histograms []HistSummary   `json:"histograms"`
 }
 
 // Summaries exports every registered histogram in registration order.

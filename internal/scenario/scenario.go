@@ -55,6 +55,38 @@ type RunOptions struct {
 	// MaxRetries bounds how many escalated-budget retries a timed-out cell
 	// gets before it is declared failed (0 = fail on the first timeout).
 	MaxRetries int `json:"max_retries"`
+
+	// The sampling knobs below select fast-forward sampled simulation: part
+	// of a run executes on the functional golden interpreter (hundreds of
+	// MIPS) and only sampled windows pay cycle-accurate cost. They are
+	// result-relevant (sampled cycle counts are estimates), so they stay in
+	// the ResultHash — a sampled run can never cache-collide with a full
+	// run. All use omitempty so pre-sampling scenarios keep their hashes.
+
+	// FastForwardInsts, when > 0, executes the first N instructions of every
+	// single-core cell functionally before switching to cycle-accurate
+	// simulation. Without SampleWindows the rest of the run is fully
+	// detailed ("tail mode"). Multi-threaded cells fall back to full runs.
+	FastForwardInsts uint64 `json:"fast_forward_insts,omitempty"`
+	// SampleWindows, when > 1, measures that many evenly-spaced detailed
+	// windows of SampleWindowInsts instructions each across the (functionally
+	// pre-walked) run, and extrapolates whole-run cycles from their pooled
+	// IPC. 0 and 1 both mean tail mode.
+	SampleWindows int `json:"sample_windows,omitempty"`
+	// SampleWindowInsts is the detailed length of each sampled window;
+	// required exactly when SampleWindows > 1.
+	SampleWindowInsts uint64 `json:"sample_window_insts,omitempty"`
+	// WarmupCycles is the micro-architectural warmup budget: detailed cycles
+	// executed after a state transplant (and before the -perf steady-state
+	// measurement) whose counters are excluded from IPC estimates. 0 means
+	// the harness default (2000).
+	WarmupCycles uint64 `json:"warmup_cycles,omitempty"`
+}
+
+// Sampling reports whether the run options select fast-forward sampled
+// simulation (tail mode or windowed mode).
+func (r *RunOptions) Sampling() bool {
+	return r.FastForwardInsts > 0 || r.SampleWindows > 1
 }
 
 // ChaosOptions configure a fault-injection campaign (specasan-chaos).
@@ -158,6 +190,18 @@ func (s *Scenario) Validate() error {
 	if s.Run.MaxRetries > 0 && s.Run.RetryBudgetFactor < 1 {
 		return fmt.Errorf("scenario run: retry_budget_factor must be >= 1 when max_retries > 0 (got %d)",
 			s.Run.RetryBudgetFactor)
+	}
+	if s.Run.SampleWindows < 0 {
+		return fmt.Errorf("scenario run: sample_windows must be >= 0 (got %d)", s.Run.SampleWindows)
+	}
+	if s.Run.SampleWindows > 1 && s.Run.SampleWindowInsts == 0 {
+		return fmt.Errorf("scenario run: sample_window_insts must be > 0 when sample_windows > 1")
+	}
+	if s.Run.SampleWindowInsts > 0 && s.Run.SampleWindows <= 1 {
+		return fmt.Errorf("scenario run: sample_window_insts requires sample_windows > 1 (tail mode ignores it)")
+	}
+	if s.Run.Sampling() && s.Chaos != nil {
+		return fmt.Errorf("scenario run: sampling is incompatible with a chaos section (the injector must observe every cycle)")
 	}
 	if c := s.Chaos; c != nil {
 		if c.Seeds < 1 {

@@ -84,6 +84,20 @@ func TestHashSemantics(t *testing.T) {
 	if e.Hash() == a.Hash() {
 		t.Error("run-option change did not move the hash")
 	}
+	// Sampling knobs produce estimated cycle counts, so they are
+	// result-relevant: a sampled run must never collide with a full run in
+	// the result store.
+	f := Default()
+	f.Run.FastForwardInsts = 1_000_000
+	if f.ResultHash() == a.ResultHash() {
+		t.Error("fast_forward_insts did not move the result hash")
+	}
+	g := Default()
+	g.Run.SampleWindows = 4
+	g.Run.SampleWindowInsts = 10_000
+	if g.ResultHash() == a.ResultHash() || g.ResultHash() == f.ResultHash() {
+		t.Error("window knobs did not move the result hash")
+	}
 	if len(a.Hash()) != 16 {
 		t.Errorf("hash should be 16 hex chars, got %q", a.Hash())
 	}
@@ -179,6 +193,13 @@ func TestValidateRejections(t *testing.T) {
 		{"chaos kind", func(s *Scenario) {
 			s.Chaos = &ChaosOptions{Seeds: 1, Rate: 0.1, MaxLatency: 10, Kinds: []string{"gremlin"}}
 		}, "gremlin"},
+		{"negative windows", func(s *Scenario) { s.Run.SampleWindows = -1 }, "sample_windows"},
+		{"windows without length", func(s *Scenario) { s.Run.SampleWindows = 4 }, "sample_window_insts"},
+		{"length without windows", func(s *Scenario) { s.Run.SampleWindowInsts = 1000 }, "sample_windows > 1"},
+		{"sampling with chaos", func(s *Scenario) {
+			s.Run.FastForwardInsts = 1000
+			s.Chaos = &ChaosOptions{Seeds: 1, Rate: 0.1, MaxLatency: 10}
+		}, "incompatible"},
 	}
 	for _, tc := range cases {
 		s := Default()

@@ -59,6 +59,9 @@ type Config struct {
 	// read-only: cached results are still served, new ones are not
 	// persisted, and /healthz reports the degradation.
 	StoreDir string
+	// StoreMaxBytes prunes the store to at most this many entry bytes when
+	// the server opens it, oldest entries first (0 = unbounded).
+	StoreMaxBytes int64
 	// QueueDepth bounds the number of cells admitted and not yet finished.
 	// A job whose cells do not all fit is shed with 429. Default 256.
 	QueueDepth int
@@ -187,6 +190,11 @@ func New(cfg Config) (*Server, error) {
 		s.store = st
 		if st.ReadOnly() {
 			s.logf("store %s is read-only: serving cached results, not persisting new ones", cfg.StoreDir)
+		}
+		if removed, freed, err := st.Prune(cfg.StoreMaxBytes); err != nil {
+			s.logf("%v", err)
+		} else if removed > 0 {
+			s.logf("store pruned %d entries (%d bytes) to fit max %d", removed, freed, cfg.StoreMaxBytes)
 		}
 	}
 	s.queue = make(chan task, cfg.QueueDepth)

@@ -34,6 +34,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 	"sync"
 )
@@ -101,6 +102,7 @@ type Counters struct {
 	Puts        uint64 `json:"puts"`
 	PutErrors   uint64 `json:"put_errors"`
 	Quarantined uint64 `json:"quarantined"`
+	Pruned      uint64 `json:"pruned"`
 }
 
 // Store is one on-disk result store rooted at a directory.
@@ -369,6 +371,80 @@ func (s *Store) count(f func(*Counters)) {
 	s.mu.Lock()
 	f(&s.n)
 	s.mu.Unlock()
+}
+
+// Prune evicts complete entries, oldest modification time first, until the
+// store's entry bytes fit under maxBytes. Temp files and the quarantine
+// directory are never counted or touched (sweepTemps and postmortems own
+// those). Losing an entry only costs a re-simulation, so eviction needs no
+// coordination with readers: a racing Get either wins the open or misses.
+// Returns how many entries were removed and how many bytes they held.
+// maxBytes <= 0 and read-only stores are no-ops.
+func (s *Store) Prune(maxBytes int64) (removed int, freed int64, err error) {
+	if maxBytes <= 0 || s.ReadOnly() {
+		return 0, 0, nil
+	}
+	type entry struct {
+		path  string
+		size  int64
+		mtime int64
+	}
+	var entries []entry
+	var total int64
+	spaces, err := os.ReadDir(s.root)
+	if err != nil {
+		return 0, 0, fmt.Errorf("store: prune: %w", err)
+	}
+	for _, sp := range spaces {
+		if !sp.IsDir() || sp.Name() == quarantineDir {
+			continue
+		}
+		dir := filepath.Join(s.root, sp.Name())
+		files, err := os.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if !strings.HasSuffix(f.Name(), ".entry") || strings.HasPrefix(f.Name(), tmpPrefix) {
+				continue
+			}
+			info, err := f.Info()
+			if err != nil {
+				continue
+			}
+			entries = append(entries, entry{
+				path:  filepath.Join(dir, f.Name()),
+				size:  info.Size(),
+				mtime: info.ModTime().UnixNano(),
+			})
+			total += info.Size()
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].mtime != entries[j].mtime {
+			return entries[i].mtime < entries[j].mtime
+		}
+		return entries[i].path < entries[j].path // deterministic tiebreak
+	})
+	for _, e := range entries {
+		if total <= maxBytes {
+			break
+		}
+		if err := os.Remove(e.path); err != nil {
+			if os.IsNotExist(err) {
+				total -= e.size // someone else removed it; still freed
+				continue
+			}
+			return removed, freed, fmt.Errorf("store: prune %s: %w", e.path, err)
+		}
+		total -= e.size
+		freed += e.size
+		removed++
+	}
+	if removed > 0 {
+		s.count(func(n *Counters) { n.Pruned += uint64(removed) })
+	}
+	return removed, freed, nil
 }
 
 // GetJSON unmarshals the payload stored under k into v. Misses and corrupt
