@@ -1,0 +1,93 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Builder assembles program source line by line — the programmatic
+// counterpart to writing a template string. Generators (the attack fuzzer,
+// workload synthesis) compose instruction sequences without worrying about
+// column discipline, and the result feeds straight into Assemble.
+//
+// The zero value is ready to use. All methods return the builder for
+// chaining.
+type Builder struct {
+	b strings.Builder
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Op appends one instruction line: four-space indent, mnemonic padded to
+// column width, operands comma-joined.
+func (b *Builder) Op(mnemonic string, operands ...string) *Builder {
+	b.b.WriteString("    ")
+	if len(operands) == 0 {
+		b.b.WriteString(mnemonic)
+	} else {
+		fmt.Fprintf(&b.b, "%-4s %s", mnemonic, strings.Join(operands, ", "))
+	}
+	b.b.WriteByte('\n')
+	return b
+}
+
+// Label appends a label definition line.
+func (b *Builder) Label(name string) *Builder {
+	b.b.WriteString(name)
+	b.b.WriteString(":\n")
+	return b
+}
+
+// Raw appends pre-formatted source verbatim (multi-line allowed). A missing
+// trailing newline is added so subsequent lines stay well-formed.
+func (b *Builder) Raw(src string) *Builder {
+	b.b.WriteString(src)
+	if !strings.HasSuffix(src, "\n") {
+		b.b.WriteByte('\n')
+	}
+	return b
+}
+
+// Org appends an .org directive placing subsequent output at addr.
+func (b *Builder) Org(addr uint64) *Builder {
+	fmt.Fprintf(&b.b, "    .org %d\n", addr)
+	return b
+}
+
+// Space appends a .space directive reserving n zero bytes.
+func (b *Builder) Space(n int) *Builder {
+	fmt.Fprintf(&b.b, "    .space %d\n", n)
+	return b
+}
+
+// Word appends a .word directive (value or label reference).
+func (b *Builder) Word(v string) *Builder {
+	fmt.Fprintf(&b.b, "    .word %s\n", v)
+	return b
+}
+
+// Imm formats an integer as an immediate operand for Op.
+func Imm(v uint64) string { return fmt.Sprintf("#%d", v) }
+
+// Deref formats a base-register memory operand: [Xn].
+func Deref(reg string) string { return "[" + reg + "]" }
+
+// DerefIdx formats a base+index memory operand: [Xn, Xm] (or [Xn, #imm]).
+func DerefIdx(reg, idx string) string { return "[" + reg + ", " + idx + "]" }
+
+// Source returns the accumulated program text.
+func (b *Builder) Source() string { return b.b.String() }
+
+// Lines returns the accumulated text split into lines, without the trailing
+// empty slot — the unit the fuzzer's minimiser deletes by.
+func (b *Builder) Lines() []string {
+	s := strings.TrimSuffix(b.b.String(), "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+// Assemble assembles the accumulated source.
+func (b *Builder) Assemble() (*Program, error) { return Assemble(b.Source()) }

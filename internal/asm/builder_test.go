@@ -1,0 +1,62 @@
+package asm
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestBuilderFormatting(t *testing.T) {
+	b := NewBuilder()
+	b.Label("_start").
+		Op("MOV", "X1", Imm(7)).
+		Op("LDR", "X2", Deref("X1")).
+		Op("LDR", "X3", DerefIdx("X1", "X2")).
+		Op("NOP").
+		Op("SVC", "#0")
+	want := "_start:\n" +
+		"    MOV  X1, #7\n" +
+		"    LDR  X2, [X1]\n" +
+		"    LDR  X3, [X1, X2]\n" +
+		"    NOP\n" +
+		"    SVC  #0\n"
+	if got := b.Source(); got != want {
+		t.Fatalf("source:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestBuilderLines(t *testing.T) {
+	if got := NewBuilder().Lines(); got != nil {
+		t.Fatalf("empty builder lines = %v", got)
+	}
+	b := NewBuilder().Op("NOP").Op("SVC", "#0")
+	want := []string{"    NOP", "    SVC  #0"}
+	if got := b.Lines(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("lines = %v, want %v", got, want)
+	}
+}
+
+func TestBuilderRawNewline(t *testing.T) {
+	// Raw without a trailing newline must not glue the next line on.
+	b := NewBuilder().Raw("    MOV X1, #1").Op("SVC", "#0")
+	want := []string{"    MOV X1, #1", "    SVC  #0"}
+	if got := b.Lines(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("lines = %v, want %v", got, want)
+	}
+}
+
+func TestBuilderDirectivesAssemble(t *testing.T) {
+	b := NewBuilder()
+	b.Label("_start").
+		Op("ADR", "X1", "slot").
+		Op("LDR", "X2", Deref("X1")).
+		Op("SVC", "#0").
+		Org(0x2000)
+	b.Label("slot").Word("41").Space(8)
+	prog, err := b.Assemble()
+	if err != nil {
+		t.Fatalf("assemble: %v\n%s", err, b.Source())
+	}
+	if _, err := prog.LookupLabel("slot"); err != nil {
+		t.Fatalf("label lost: %v", err)
+	}
+}

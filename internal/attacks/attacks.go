@@ -162,7 +162,6 @@ func (a *Attack) Evaluate(mit core.Mitigation) (Verdict, []*Outcome, error) {
 // EvaluateWith derives the verdict with a machine-preparation hook applied
 // to every variant run (chaos perturbation).
 func (a *Attack) EvaluateWith(mit core.Mitigation, prep func(*cpu.Machine)) (Verdict, []*Outcome, error) {
-	leaked, blocked := 0, 0
 	outs := make([]*Outcome, 0, len(a.Variants))
 	for _, v := range a.Variants {
 		out, err := RunVariantWith(v, mit, prep)
@@ -170,6 +169,16 @@ func (a *Attack) EvaluateWith(mit core.Mitigation, prep func(*cpu.Machine)) (Ver
 			return VerdictNone, nil, fmt.Errorf("%s/%s: %w", a.Name, v.Name, err)
 		}
 		outs = append(outs, out)
+	}
+	return AggregateVerdict(outs), outs, nil
+}
+
+// AggregateVerdict folds per-variant outcomes into the Table 1 cell: full
+// mitigation when no variant leaked, none when every variant leaked, partial
+// otherwise. An empty outcome list is vacuously full — no variant leaked.
+func AggregateVerdict(outs []*Outcome) Verdict {
+	leaked, blocked := 0, 0
+	for _, out := range outs {
 		if out.Leaked {
 			leaked++
 		} else {
@@ -178,11 +187,11 @@ func (a *Attack) EvaluateWith(mit core.Mitigation, prep func(*cpu.Machine)) (Ver
 	}
 	switch {
 	case leaked == 0:
-		return VerdictFull, outs, nil
+		return VerdictFull
 	case blocked == 0:
-		return VerdictNone, outs, nil
+		return VerdictNone
 	default:
-		return VerdictPartial, outs, nil
+		return VerdictPartial
 	}
 }
 

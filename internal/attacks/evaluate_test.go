@@ -1,0 +1,100 @@
+package attacks
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"specasan/internal/core"
+)
+
+// outcomes builds one Outcome per leak flag.
+func outcomes(leaks ...bool) []*Outcome {
+	outs := make([]*Outcome, len(leaks))
+	for i, l := range leaks {
+		outs[i] = &Outcome{Variant: "v", Leaked: l}
+	}
+	return outs
+}
+
+func TestAggregateVerdict(t *testing.T) {
+	cases := []struct {
+		name string
+		outs []*Outcome
+		want Verdict
+	}{
+		// Empty is vacuously full: no variant leaked.
+		{"empty", nil, VerdictFull},
+		{"one-blocked", outcomes(false), VerdictFull},
+		{"one-leaked", outcomes(true), VerdictNone},
+		{"all-blocked", outcomes(false, false, false), VerdictFull},
+		{"all-leaked", outcomes(true, true, true), VerdictNone},
+		{"first-leaks", outcomes(true, false), VerdictPartial},
+		{"last-leaks", outcomes(false, true), VerdictPartial},
+		{"mixed-three", outcomes(false, true, false), VerdictPartial},
+		{"mostly-leaked", outcomes(true, true, false), VerdictPartial},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := AggregateVerdict(tc.outs); got != tc.want {
+				t.Fatalf("AggregateVerdict(%s) = %v, want %v", tc.name, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestAggregateVerdictIgnoresNonLeakFields(t *testing.T) {
+	// A faulted or timed-out outcome that did not leak still counts as
+	// blocked: the verdict folds Leaked alone, anything else is the runner's
+	// business.
+	outs := []*Outcome{
+		{Variant: "a", Leaked: false, Faulted: true},
+		{Variant: "b", Leaked: false, TimedOut: true, SecretReads: 7},
+	}
+	if got := AggregateVerdict(outs); got != VerdictFull {
+		t.Fatalf("verdict = %v, want %v", got, VerdictFull)
+	}
+}
+
+func TestEvaluateMatchesAggregate(t *testing.T) {
+	// Evaluate's verdict must be exactly AggregateVerdict of the outcomes it
+	// returns — the seam the fuzzer's per-mitigation rows rely on.
+	a := SpectrePHT()
+	for _, mit := range []core.Mitigation{core.Unsafe, core.SpecASan} {
+		v, outs, err := a.Evaluate(mit)
+		if err != nil {
+			t.Fatalf("Evaluate(%v): %v", mit, err)
+		}
+		if len(outs) != len(a.Variants) {
+			t.Fatalf("got %d outcomes for %d variants", len(outs), len(a.Variants))
+		}
+		if want := AggregateVerdict(outs); v != want {
+			t.Fatalf("Evaluate(%v) = %v, AggregateVerdict(outs) = %v", mit, v, want)
+		}
+	}
+}
+
+func TestEvaluatePropagatesBuildError(t *testing.T) {
+	buildErr := errors.New("synthetic build failure")
+	a := &Attack{
+		Name:  "Broken",
+		Class: "Test",
+		Variants: []Variant{
+			{Name: "ok", Build: SpectrePHT().Variants[0].Build},
+			{Name: "broken", Build: func() (*Scenario, error) { return nil, buildErr }},
+		},
+	}
+	v, outs, err := a.Evaluate(core.Unsafe)
+	if err == nil {
+		t.Fatal("Evaluate must surface the variant build error")
+	}
+	if !errors.Is(err, buildErr) {
+		t.Fatalf("error %v does not wrap the build error", err)
+	}
+	if !strings.Contains(err.Error(), "Broken/broken") {
+		t.Fatalf("error %q does not name attack/variant", err)
+	}
+	if outs != nil || v != VerdictNone {
+		t.Fatalf("failed Evaluate must return (VerdictNone, nil): got (%v, %v)", v, outs)
+	}
+}

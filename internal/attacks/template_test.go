@@ -1,0 +1,82 @@
+package attacks
+
+import (
+	"strings"
+	"testing"
+
+	"specasan/internal/asm"
+	"specasan/internal/golden"
+)
+
+func TestRenderGadgetAllCombos(t *testing.T) {
+	// Every advertised trigger × relation combination renders to a program
+	// that assembles and terminates cleanly on the golden interpreter with a
+	// trivial body — the contract the fuzzer's grammar builds on.
+	body := "    LDR  X5, [X26]"
+	for _, trigger := range Triggers() {
+		for _, rel := range RelationsFor(trigger) {
+			stlBody := body
+			if trigger == TriggerSTL {
+				stlBody = "    NOP" // stl provides the secret in X5 itself
+			}
+			src, setup, err := RenderGadget(trigger, rel, 0, stlBody)
+			if err != nil {
+				t.Fatalf("RenderGadget(%s, %s): %v", trigger, rel, err)
+			}
+			prog, err := asm.Assemble(src)
+			if err != nil {
+				t.Fatalf("%s/%s does not assemble: %v", trigger, rel, err)
+			}
+			for _, mteOn := range []bool{false, true} {
+				ip := golden.New(prog)
+				ip.MTEOn = mteOn
+				setup.ApplyImage(ip.Mem)
+				res := ip.Run(200_000)
+				if res.Reason != golden.StopExit {
+					t.Fatalf("%s/%s (mte=%v) golden stopped with %v", trigger, rel, mteOn, res.Reason)
+				}
+			}
+		}
+	}
+}
+
+func TestRenderGadgetRejectsUnknown(t *testing.T) {
+	if _, _, err := RenderGadget("smc", RelForeign, 0, "    NOP"); err == nil {
+		t.Fatal("unknown trigger must error")
+	}
+	if _, _, err := RenderGadget(TriggerPHT, RelStale, 0, "    NOP"); err == nil {
+		t.Fatal("pht/stale is not an advertised combination")
+	}
+}
+
+func TestRenderGadgetTrainBounds(t *testing.T) {
+	for _, tc := range []struct {
+		trigger string
+		train   int
+	}{{TriggerPHT, 2}, {TriggerPHT, 65}, {TriggerBTB, 1}, {TriggerBTB, 33}} {
+		if _, _, err := RenderGadget(tc.trigger, RelForeign, tc.train, "    NOP"); err == nil {
+			t.Errorf("RenderGadget(%s, train=%d) must reject out-of-range training", tc.trigger, tc.train)
+		}
+	}
+}
+
+func TestSetupSpecVariantReplays(t *testing.T) {
+	// The stl/stale render leaks under Unsafe via its SetupSpec-built
+	// variant: the full declarative round trip (render → spec → machine).
+	src, setup, err := RenderGadget(TriggerSTL, RelStale, 0,
+		"    LSL  X6, X5, #6\n    AND  X6, X6, #960\n    LDR  X8, [X15, X6]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := setup.Variant("stl-stale-test", src, 400_000)
+	out, err := RunVariant(v, 0) // core.Unsafe
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Leaked {
+		t.Fatalf("stl/stale cache transmit must leak under Unsafe:\n%s", src)
+	}
+	if !strings.Contains(src, "depslot") {
+		t.Fatal("stl template lost its dependence slot")
+	}
+}

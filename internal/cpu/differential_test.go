@@ -175,6 +175,111 @@ _start:
 buf:
     .space 32
 `)
+	// Generator template corners from the attack-discovery fuzzer
+	// (internal/fuzzer), frozen as literals — this package is what the
+	// fuzzer tests, so it cannot import it. First: a bounds-check-bypass
+	// trigger with the tag-check-latency transmit (MTE granule select plus a
+	// transient LDG). Second: a return-stack misdirection whose gadget is
+	// never architecturally reached — the RET steers into it transiently via
+	// a poisoned-RSB-shaped LR slot swap.
+	f.Add(`
+_start:
+    ADR  X20, size_slot
+    ADR  X21, array1
+    LDG  X21, [X21]
+    ADR  X22, probe
+    ADR  X15, fuzzprobe
+    MOV  X27, #128
+    MOV  X28, #8
+    MOV  X7, #13
+
+    MOV  X13, #1048704
+    LDG  X13, [X13]
+    LDR  X14, [X13]
+    DSB
+
+    MOV  X12, #15
+loop:
+    ADR  X9, size_slot
+    DC   CIVAC, X9
+    DSB
+    CMP  X12, #1
+    CSEL X0, X27, X28, EQ
+    BL   victim
+    SUB  X12, X12, #1
+    CBNZ X12, loop
+    SVC  #0
+
+victim:
+    BTI
+    LDR  X1, [X20]
+    CMP  X0, X1
+    B.HS vdone
+    ADD  X26, X21, X0
+    LDR  X5, [X26]
+    AND  X6, X5, #3
+    LSL  X6, X6, #4
+    ADD  X16, X15, X6
+    LDR  X8, [X16]
+    LDG  X11, [X16]
+vdone:
+    RET
+
+    .org 0x120000
+size_slot:
+    .word 16
+
+    .org 1048576
+array1:
+    .space 128
+    .org 1114112
+probe:
+    .space 4096
+
+    .org 2097152
+fuzzprobe:
+    .space 65536
+`)
+	f.Add(`
+_start:
+    ADR  X22, probe
+    ADR  X15, fuzzprobe
+    MOV  X7, #13
+    MOV  X13, #1048704
+    LDG  X13, [X13]
+    LDR  X14, [X13]
+    DSB
+    MOV  X26, #1048704
+    LDG  X26, [X26]
+    ADR  X9, lrslot
+    LDR  X30, [X9]
+    RET
+
+gadget:
+    LDR  X5, [X26]
+    LSL  X6, X5, #6
+    AND  X6, X6, #960
+    LDR  X8, [X15, X6]
+    RET
+real_continue:
+    BTI
+    SVC  #0
+
+    .org 0x120000
+lrslot:
+    .word real_continue
+
+    .org 1048576
+array1:
+    .space 128
+    .org 1114112
+probe:
+    .space 4096
+
+    .org 2097152
+fuzzprobe:
+    .space 65536
+`)
 	f.Fuzz(func(t *testing.T, src string) {
 		if len(src) > 1<<16 || strings.Count(src, "\n") > 2048 {
 			t.Skip("oversized input")

@@ -1,0 +1,112 @@
+package fuzzer
+
+import (
+	"specasan/internal/attacks"
+	"specasan/internal/core"
+)
+
+// ClaimsVersion versions the model below. It feeds the store-context hash:
+// a recalibrated model re-judges every cached evaluation.
+const ClaimsVersion = 1
+
+// ClaimTier is what a mitigation's behaviour bits say about one candidate
+// shape. The tiers drive triage:
+//
+//   - ClaimBlocked: the bits predict no leak. A leak is a counterexample —
+//     a simulator bug, a defence-implementation bug, or a claims-model bug —
+//     and must be minimised, golden-cross-checked and surfaced loudly.
+//   - ClaimKnownGap: the defence class covers the channel in its headline
+//     story, but a documented exception applies (tag-valid gadgets vs.
+//     address sanitization, contention channels vs. taint tracking, ...).
+//     A leak is an expected find: minimised and emitted as a Table-1-style
+//     ◐-evidence PoC row.
+//   - ClaimNone: the bits never claimed this shape (Unsafe, committed-path
+//     MTE); a leak is unremarkable.
+type ClaimTier uint8
+
+// Claim tiers, weakest first.
+const (
+	ClaimNone ClaimTier = iota
+	ClaimKnownGap
+	ClaimBlocked
+)
+
+// String names the tier for PoC documents.
+func (t ClaimTier) String() string {
+	switch t {
+	case ClaimBlocked:
+		return "blocked"
+	case ClaimKnownGap:
+		return "known-gap"
+	default:
+		return "unclaimed"
+	}
+}
+
+// cacheShaped reports whether the channel is a cache-state encoding (fills
+// at some stride) as opposed to a contention encoding.
+func cacheShaped(ch string) bool {
+	return ch == ChanCache || ch == ChanPage || ch == ChanMSHR || ch == ChanTagLatency
+}
+
+// Claim judges candidate shape c under mitigation mit from the mitigation's
+// behaviour bits alone — never from its identity — so registry additions are
+// judged by the same rules. The reason string documents the judgment in
+// emitted PoC rows.
+func Claim(mit core.Mitigation, c *Candidate) (ClaimTier, string) {
+	d := mit.Descriptor()
+	tier, reason := ClaimNone, "no speculative defence bit covers this shape"
+
+	consider := func(t ClaimTier, r string) {
+		if t > tier {
+			tier, reason = t, r
+		}
+	}
+
+	if d.FenceLoads {
+		// Every generated gadget's secret enters through a load, and the
+		// fence delays all speculative loads until older work completes.
+		consider(ClaimBlocked, "fence delays every speculative load, including the secret access")
+	}
+	if d.Taint {
+		if c.Channel == ChanPort || c.Channel == ChanDiv {
+			consider(ClaimKnownGap, "taint tracking gates memory and branch transmitters; multiplier/divider occupancy is its documented SCC gap")
+		} else {
+			// The access load is speculative, so its result is tainted, and
+			// cache/branch transmitters with tainted operands are delayed.
+			consider(ClaimBlocked, "transmit instruction carries tainted operands and is delayed to its visibility point")
+		}
+	}
+	if d.GhostFills {
+		if cacheShaped(c.Channel) {
+			consider(ClaimBlocked, "speculative fills are redirected to the ghost buffer and discarded on squash")
+		} else {
+			consider(ClaimKnownGap, "fill redirection does not cover execution-unit or fetch contention")
+		}
+	}
+	if d.CFI {
+		if c.Trigger == attacks.TriggerBTB || c.Trigger == attacks.TriggerRSB {
+			consider(ClaimBlocked, "speculative control-flow validation refuses the injected non-BTI target")
+		} else {
+			consider(ClaimNone, "in-bounds control flow: CFI makes no claim")
+		}
+	}
+	if d.SpecTagChecks {
+		switch c.Relation {
+		case attacks.RelForeign:
+			consider(ClaimBlocked, "the secret access violates MTE tags and is held by speculative sanitization")
+		case attacks.RelStale:
+			consider(ClaimBlocked, "a tagged load in a memory-dependence window is delayed until older stores resolve (§4.1 store-bypass rule)")
+		case attacks.RelMatching:
+			consider(ClaimKnownGap, "a tag-valid pointer to the secret cannot be refused by address sanitization — the paper's partial-mitigation rows")
+		case attacks.RelUntagged:
+			consider(ClaimKnownGap, "the slot carries tag 0, outside MTE coverage, so sanitization never inspects the stale read")
+		}
+	}
+	if d.DelayOnMiss {
+		if cacheShaped(c.Channel) {
+			consider(ClaimKnownGap, "DoM holds only L1-missing speculative loads; resident probe lines and contention transmit unhindered")
+		}
+	}
+	return tier, reason
+}

@@ -1,0 +1,170 @@
+package fuzzer
+
+import (
+	"fmt"
+
+	"specasan/internal/asm"
+	"specasan/internal/attacks"
+)
+
+// GeneratorVersion versions the grammar below. It feeds the store-context
+// hash: bumping it invalidates cached evaluations, since the same (seed,
+// index) now names a different program.
+const GeneratorVersion = 1
+
+// Transmit channel names. Cache, page (TLB-flavoured: page-stride fills)
+// and taglatency are cache-state encodings at different strides; mshr,
+// port, div and branch are contention encodings.
+const (
+	ChanCache      = "cache"
+	ChanPage       = "page"
+	ChanMSHR       = "mshr"
+	ChanPort       = "port"
+	ChanDiv        = "div"
+	ChanBranch     = "branch"
+	ChanTagLatency = "taglatency"
+)
+
+// Channels lists the transmit encodings the generator composes.
+func Channels() []string {
+	return []string{ChanCache, ChanPage, ChanMSHR, ChanPort, ChanDiv, ChanBranch, ChanTagLatency}
+}
+
+// rng is a splitmix64 stream — tiny, fast, and stable across Go versions
+// (math/rand's stream is not part of its compatibility promise).
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64, index int) *rng {
+	// Decorrelate (seed, index) pairs through one splitmix round each.
+	r := &rng{s: seed}
+	a := r.next()
+	r.s = uint64(index) ^ 0x9e3779b97f4a7c15
+	b := r.next()
+	r.s = a ^ (b << 1)
+	return r
+}
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *rng) pick(xs []string) string { return xs[r.intn(len(xs))] }
+
+// Generate derives candidate (seed, index) — the whole program is a pure
+// function of the pair.
+func Generate(seed uint64, index int) *Candidate {
+	r := newRNG(seed, index)
+	c := &Candidate{Seed: seed, Index: index}
+	c.Trigger = r.pick(attacks.Triggers())
+	c.Relation = r.pick(attacks.RelationsFor(c.Trigger))
+	c.Channel = r.pick(Channels())
+	switch c.Trigger {
+	case attacks.TriggerPHT:
+		c.Train = 9 + 2*r.intn(8) // 9..23
+	case attacks.TriggerBTB:
+		c.Train = 5 + r.intn(6) // 5..10
+	}
+	c.Body = genBody(r, c.Trigger, c.Channel)
+	if err := c.Render(); err != nil {
+		// The grammar only emits template-legal combinations; a render
+		// failure is a bug in this package, not an input problem.
+		panic(fmt.Sprintf("fuzzer: generated unrenderable candidate %d/%d: %v", seed, index, err))
+	}
+	return c
+}
+
+// genBody composes the transient-window gadget: the access phase (pointer
+// triggers read the secret through X26; the stl trigger's stale read already
+// left it in X5) followed by a randomized transmit encoding, with optional
+// NOP padding for the minimiser to chew on.
+func genBody(r *rng, trigger, channel string) []string {
+	b := asm.NewBuilder()
+	if trigger != attacks.TriggerSTL {
+		b.Op("LDR", "X5", asm.Deref("X26"))
+	}
+	genTransmit(r, b, channel)
+	lines := b.Lines()
+	// 0..2 NOPs at deterministic-random positions: timing jitter inside the
+	// window, and deletable fodder that proves minimisation works.
+	for i, n := 0, r.intn(3); i < n; i++ {
+		at := r.intn(len(lines) + 1)
+		lines = append(lines[:at], append([]string{"    NOP"}, lines[at:]...)...)
+	}
+	return lines
+}
+
+// genTransmit renders one secret-dependent encoding over the contract
+// registers (X5 secret value, X15 fuzz probe base, X22 probe base; X6-X8,
+// X10/X11/X16/X17 scratch).
+func genTransmit(r *rng, b *asm.Builder, channel string) {
+	switch channel {
+	case ChanCache:
+		// Classic line-stride probe touch: index = (secret << s) & mask.
+		shift := uint64(4 + r.intn(4))  // 4..7
+		lines := uint64(8 << r.intn(4)) // 8..64
+		mask := (lines - 1) << shift    // well inside fuzzprobe
+		b.Op("LSL", "X6", "X5", asm.Imm(shift))
+		b.Op("AND", "X6", "X6", asm.Imm(mask))
+		b.Op("LDR", "X8", asm.DerefIdx("X15", "X6"))
+	case ChanPage:
+		// Page-stride probe touch: each secret value lands on its own 4 KiB
+		// page, so the fill perturbs TLB/page-granular state, not just one
+		// line's set.
+		bmask := uint64(3 + 4*r.intn(4)) // 3,7,11,15
+		b.Op("AND", "X6", "X5", asm.Imm(bmask))
+		b.Op("LSL", "X6", "X6", asm.Imm(12))
+		b.Op("LDR", "X8", asm.DerefIdx("X15", "X6"))
+	case ChanMSHR:
+		// Multiple secret-derived misses in flight: MSHR occupancy.
+		b.Op("LSL", "X6", "X5", asm.Imm(6))
+		b.Op("AND", "X6", "X6", asm.Imm(4032))
+		b.Op("LDR", "X8", asm.DerefIdx("X15", "X6"))
+		for i, n := 0, 1+r.intn(3); i < n; i++ {
+			b.Op("ADD", "X6", "X6", asm.Imm(64))
+			b.Op("LDR", "X8", asm.DerefIdx("X15", "X6"))
+		}
+	case ChanPort:
+		// Multiplier residency keyed to the secret.
+		b.Op("MUL", "X7", "X5", "X5")
+		for i, n := 0, 1+r.intn(4); i < n; i++ {
+			b.Op("MUL", "X7", "X7", "X5")
+		}
+	case ChanDiv:
+		// Early-out divider: latency depends on the dividend's magnitude.
+		d := uint64(3 + 2*r.intn(4)) // 3,5,7,9
+		b.Op("MOV", "X10", asm.Imm(d))
+		b.Op("SDIV", "X7", "X5", "X10")
+	case ChanBranch:
+		// Secret-steered branch: fetch/port perturbation (SMoTHERSpectre).
+		b.Op("AND", "X6", "X5", asm.Imm(1))
+		b.Op("CBZ", "X6", "fz_light")
+		for i, n := 0, 1+r.intn(3); i < n; i++ {
+			b.Op("MUL", "X7", "X7", "X7")
+		}
+		b.Label("fz_light")
+		b.Op("NOP")
+	case ChanTagLatency:
+		// Tag-check-latency shape (TikTag-flavoured): a secret bit selects
+		// which MTE granule the probe access lands in, so the observable
+		// difference rides on the tag-check path taken. Both granules are
+		// untagged — committed-path safe for any training value — and the
+		// oracle sees the secret-derived fill; the optional LDG models the
+		// gadget reading the selected granule's tag itself.
+		bits := uint64(1 + 2*r.intn(2)) // 1 or 3
+		b.Op("AND", "X6", "X5", asm.Imm(bits))
+		b.Op("LSL", "X6", "X6", asm.Imm(4)) // one MTE granule per value
+		b.Op("ADD", "X16", "X15", "X6")
+		b.Op("LDR", "X8", asm.Deref("X16"))
+		if r.intn(2) == 1 {
+			b.Op("LDG", "X11", asm.Deref("X16"))
+		}
+	default:
+		panic("fuzzer: unknown channel " + channel)
+	}
+}

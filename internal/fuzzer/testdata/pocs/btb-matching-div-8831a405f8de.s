@@ -1,0 +1,56 @@
+
+_start:
+    ADR  X21, array1
+    LDG  X21, [X21]
+    ADR  X22, probe
+    ADR  X15, fuzzprobe
+    MOV  X7, #13
+
+    MOV  X13, #1048704
+    LDG  X13, [X13]
+    LDR  X14, [X13]        // victim recently used its secret: it is cached
+    DSB                    // the warm access completes before the attack
+    ADR  X19, fnslot
+    ADR  X24, gadget
+    ADR  X25, legit
+    MOV  X23, X21
+    MOV X18, #1048704
+    LDG X18, [X18]
+    MOV  X12, #3
+loop:
+    CMP  X12, #1
+    CSEL X9, X25, X24, EQ
+    STR  X9, [X19]
+    CSEL X26, X18, X23, EQ
+    ADR  X9, fnslot
+    DC   CIVAC, X9
+    DSB
+    LDR  X9, [X19]
+    BLR  X9
+    SUB  X12, X12, #1
+    CBNZ X12, loop
+    SVC  #0
+
+gadget:                    // not BTI
+    LDR  X5, [X26]
+    SDIV X7, X5, X10
+    RET
+legit:
+    BTI
+    RET
+
+    .org 0x120000
+fnslot:
+    .word 0
+
+    .org 1048576
+array1:
+    .space 128
+    .org 1114112
+probe:
+    .space 4096
+
+    .org 2097152
+fuzzprobe:
+    .space 65536
+

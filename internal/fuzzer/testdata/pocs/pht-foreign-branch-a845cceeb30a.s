@@ -1,0 +1,56 @@
+
+_start:
+    ADR  X20, size_slot
+    ADR  X21, array1
+    LDG  X21, [X21]
+    ADR  X22, probe
+    ADR  X15, fuzzprobe
+    MOV  X27, #128
+    MOV  X28, #8
+    MOV  X7, #13
+
+    MOV  X13, #1048704
+    LDG  X13, [X13]
+    LDR  X14, [X13]        // victim recently used its secret: it is cached
+    DSB                    // the warm access completes before the attack
+
+    MOV  X12, #6
+loop:
+    ADR  X9, size_slot
+    DC   CIVAC, X9
+    DSB
+    CMP  X12, #1
+    CSEL X0, X27, X28, EQ
+    BL   victim
+    SUB  X12, X12, #1
+    CBNZ X12, loop
+    SVC  #0
+
+victim:
+    BTI
+    LDR  X1, [X20]
+    CMP  X0, X1
+    B.HS vdone
+    ADD  X26, X21, X0
+    LDR  X5, [X26]
+    AND  X6, X5, #1
+    CBZ  X6, fz_light
+fz_light:
+vdone:
+    RET
+
+    .org 0x120000
+size_slot:
+    .word 16
+
+    .org 1048576
+array1:
+    .space 128
+    .org 1114112
+probe:
+    .space 4096
+
+    .org 2097152
+fuzzprobe:
+    .space 65536
+

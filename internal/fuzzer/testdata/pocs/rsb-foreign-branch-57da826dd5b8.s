@@ -1,0 +1,40 @@
+
+_start:
+    ADR  X22, probe
+    ADR  X15, fuzzprobe
+    MOV  X7, #13
+
+    MOV  X13, #1048704
+    LDG  X13, [X13]
+    LDR  X14, [X13]        // victim recently used its secret: it is cached
+    DSB                    // the warm access completes before the attack
+    MOV X26, #1048704
+    ADR  X9, lrslot
+    LDR  X30, [X9]
+    RET
+
+gadget:
+    LDR  X5, [X26]
+    AND  X6, X5, #1
+    CBZ  X6, fz_light
+fz_light:
+    RET
+real_continue:
+    BTI
+    SVC  #0
+
+    .org 0x120000
+lrslot:
+    .word real_continue
+
+    .org 1048576
+array1:
+    .space 128
+    .org 1114112
+probe:
+    .space 4096
+
+    .org 2097152
+fuzzprobe:
+    .space 65536
+

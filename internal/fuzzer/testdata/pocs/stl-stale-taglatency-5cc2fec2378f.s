@@ -1,0 +1,36 @@
+
+_start:
+    ADR  X22, probe
+    ADR  X15, fuzzprobe
+    MOV  X7, #13
+    MOV  X28, #1048704
+    LDG  X28, [X28]
+    LDR  X14, [X28]
+    DSB
+    ADR  X9, depslot
+    LDR  X1, [X9]
+    AND  X1, X1, #7
+    ADD  X2, X28, X1
+    STR  XZR, [X2]
+    LDR  X3, [X28]
+    MOV  X5, X3
+    AND  X6, X5, #1
+    ADD  X16, X15, X6
+    LDR  X8, [X16]
+    SVC  #0
+
+    .org 0x120000
+depslot:
+    .word 0
+
+    .org 1048576
+array1:
+    .space 128
+    .org 1114112
+probe:
+    .space 4096
+
+    .org 2097152
+fuzzprobe:
+    .space 65536
+

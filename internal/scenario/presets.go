@@ -32,6 +32,7 @@ const (
 	PresetFigure9    = "figure9"
 	PresetAblations  = "ablations"
 	PresetChaosSmoke = "chaos-smoke"
+	PresetFuzzSmoke  = "fuzz-smoke"
 )
 
 // Default returns the table2 preset: the paper's machine under every paper
@@ -83,6 +84,17 @@ func Preset(name string) (*Scenario, bool) {
 			Seeds: 8, Seed0: 1, Rate: 0.02, MaxLatency: 200, VerdictSeeds: 2,
 		}
 		return s, true
+	case PresetFuzzSmoke:
+		// Attack-discovery smoke: a small deterministic candidate batch
+		// over every registered defence (specasan-fuzz resolves the
+		// mitigation list; workloads are unused but a scenario must name
+		// one to validate).
+		s := base(PresetFuzzSmoke,
+			core.RegisteredMitigations(),
+			mustWorkloads("505.mcf_r"))
+		s.Run.MaxCycles = 400_000
+		s.Fuzz = &FuzzOptions{Seed: 1, Candidates: 64}
+		return s, true
 	}
 	return nil, false
 }
@@ -90,7 +102,7 @@ func Preset(name string) (*Scenario, bool) {
 // PresetNames lists the available presets, sorted.
 func PresetNames() []string {
 	names := []string{PresetTable2, PresetFigure6, PresetFigure7, PresetFigure8,
-		PresetFigure9, PresetAblations, PresetChaosSmoke}
+		PresetFigure9, PresetAblations, PresetChaosSmoke, PresetFuzzSmoke}
 	sort.Strings(names)
 	return names
 }

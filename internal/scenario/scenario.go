@@ -131,6 +131,10 @@ type Scenario struct {
 	Run RunOptions `json:"run"`
 	// Chaos, when present, configures a fault-injection campaign.
 	Chaos *ChaosOptions `json:"chaos,omitempty"`
+	// Fuzz, when present, configures an attack-discovery fuzzing run
+	// (specasan-fuzz). Like Chaos it is a pointer with omitempty so
+	// pre-fuzzer scenarios keep their content hashes.
+	Fuzz *FuzzOptions `json:"fuzz,omitempty"`
 }
 
 // DefaultRunOptions match the harness defaults: full-scale kernels, the
@@ -202,6 +206,17 @@ func (s *Scenario) Validate() error {
 	}
 	if s.Run.Sampling() && s.Chaos != nil {
 		return fmt.Errorf("scenario run: sampling is incompatible with a chaos section (the injector must observe every cycle)")
+	}
+	if f := s.Fuzz; f != nil {
+		if f.Candidates < 0 {
+			return fmt.Errorf("scenario fuzz: candidates must be >= 0 (got %d)", f.Candidates)
+		}
+		if f.BudgetSeconds < 0 {
+			return fmt.Errorf("scenario fuzz: budget_seconds must be >= 0 (got %d)", f.BudgetSeconds)
+		}
+		if f.Candidates == 0 && f.BudgetSeconds == 0 {
+			return fmt.Errorf("scenario fuzz: one of candidates or budget_seconds must be set")
+		}
 	}
 	if c := s.Chaos; c != nil {
 		if c.Seeds < 1 {

@@ -200,6 +200,15 @@ func TestValidateRejections(t *testing.T) {
 			s.Run.FastForwardInsts = 1000
 			s.Chaos = &ChaosOptions{Seeds: 1, Rate: 0.1, MaxLatency: 10}
 		}, "incompatible"},
+		{"fuzz negative candidates", func(s *Scenario) {
+			s.Fuzz = &FuzzOptions{Seed: 1, Candidates: -1}
+		}, "candidates"},
+		{"fuzz negative budget", func(s *Scenario) {
+			s.Fuzz = &FuzzOptions{Seed: 1, BudgetSeconds: -1}
+		}, "budget_seconds"},
+		{"fuzz no stopping rule", func(s *Scenario) {
+			s.Fuzz = &FuzzOptions{Seed: 1}
+		}, "candidates or budget_seconds"},
 	}
 	for _, tc := range cases {
 		s := Default()

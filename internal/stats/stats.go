@@ -191,6 +191,12 @@ func (h *Histogram) Percentile(p float64) uint64 {
 		return 0
 	}
 	target := uint64(math.Ceil(p / 100 * float64(h.N)))
+	if target == 0 {
+		// p = 0 would otherwise match the first bucket even when it is
+		// empty, reporting a bound below every observed sample. The 0th
+		// percentile is the first non-empty bucket's bound.
+		target = 1
+	}
 	var cum uint64
 	for i, c := range h.Counts {
 		cum += c

@@ -246,3 +246,42 @@ func TestHistogramMergeShapeMismatchPanics(t *testing.T) {
 	b.Observe(1)
 	a.Merge(b)
 }
+
+func TestHistogramPercentileZeroSkipsEmptyBuckets(t *testing.T) {
+	// Regression: p=0 used to compute target=0, which the very first bucket
+	// satisfied even when empty — reporting a bound below every sample. The
+	// 0th percentile must land on the first non-empty bucket.
+	h := NewHistogram(10, 8)
+	h.Observe(45) // bucket 4 only; buckets 0-3 empty
+	if got := h.Percentile(0); got != 50 {
+		t.Fatalf("p0 = %d, want 50 (first non-empty bucket bound)", got)
+	}
+	h.Observe(3) // now bucket 0 is occupied
+	if got := h.Percentile(0); got != 10 {
+		t.Fatalf("p0 = %d, want 10", got)
+	}
+}
+
+func TestHistogramHighEventCounts(t *testing.T) {
+	// Oracle-shaped stress: generated programs can record events far past the
+	// last bucket and in volumes that dwarf the bucket count. Percentiles must
+	// stay monotone in p and never exceed the observed max.
+	h := NewHistogram(4, 16)
+	for i := uint64(0); i < 100_000; i++ {
+		h.Observe(i % 257) // most samples clamp into the open last bucket
+	}
+	prev := uint64(0)
+	for _, p := range []float64{0, 1, 25, 50, 75, 99, 100} {
+		got := h.Percentile(p)
+		if got < prev {
+			t.Fatalf("percentiles not monotone: p%v = %d < %d", p, got, prev)
+		}
+		if got > h.Max {
+			t.Fatalf("p%v = %d exceeds observed max %d", p, got, h.Max)
+		}
+		prev = got
+	}
+	if h.Percentile(100) != h.Max {
+		t.Fatalf("p100 = %d, want max %d", h.Percentile(100), h.Max)
+	}
+}
