@@ -9,8 +9,11 @@
 //	-perf    measure the simulator itself and write BENCH_sim.json
 //
 // Sweeps run their cells on a bounded worker pool (-workers, default
-// GOMAXPROCS); output is byte-identical to -workers=1. -cpuprofile and
-// -memprofile capture stdlib pprof profiles of the run.
+// GOMAXPROCS); output is byte-identical to -workers=1. Within one machine,
+// -parallel-cores steps simulated cores on their own goroutines (also
+// byte-identical to serial). The -perf sweep legs take their pool size from
+// -sweep-workers, recorded in the report. -cpuprofile and -memprofile
+// capture stdlib pprof profiles of the run.
 package main
 
 import (
@@ -46,6 +49,10 @@ func main() {
 		"override the -perf history entry's description (default: a summary of the active fast paths)")
 	scale := flag.Float64("scale", 1.0, "kernel iteration scale")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	sweepWorkers := flag.Int("sweep-workers", 0,
+		"worker pool size for the -perf sweep legs (0 = GOMAXPROCS); the resolved value is recorded in the report")
+	parallelCores := flag.Int("parallel-cores", 0,
+		"intra-machine core stepping: 0 = auto (goroutine per simulated core when GOMAXPROCS > 1), 1 = force serial, >= 2 = force parallel; results are bit-identical either way")
 	traceCell := flag.String("trace", "", "record a Chrome trace of one sweep cell, named benchmark/mitigation (e.g. 505.mcf_r/SpecASan)")
 	traceOut := flag.String("trace-out", "trace.json", "where -trace writes its Chrome trace-event JSON")
 	metricsOut := flag.String("metrics-out", "", "write per-cell metrics records (JSONL, cell order) to this file")
@@ -83,6 +90,7 @@ func main() {
 	opt.Verbose = *verbose
 	opt.Log = os.Stderr
 	opt.Workers = *workers
+	opt.ParallelCores = *parallelCores
 	opt.NoSkipIdle = !*skipIdle
 	opt.FastForwardInsts = *fastForward
 	opt.SampleWindows = *sampleWindows
@@ -175,6 +183,9 @@ func main() {
 		ps.Run.Scale = opt.Scale
 		ps.Run.SkipIdle = !opt.NoSkipIdle
 		opt.ScenarioHash = ps.Hash()
+		// The sweep legs' pool size is an explicit, recorded choice now —
+		// -sweep-workers, not a silent GOMAXPROCS pin inside MeasurePerf.
+		opt.Workers = *sweepWorkers
 		runPerf(*perfOut, *perfNote, opt)
 		return
 	}
@@ -213,8 +224,9 @@ func main() {
 
 // runScenario runs the sweep a scenario describes and renders it as a
 // normalized-execution-time table. Explicitly-typed -scale/-workers/
-// -skip-idle/-fast-forward/-sample-windows/-sample-window-insts/
-// -warmup-cycles flags override the scenario's run options; everything else
+// -parallel-cores/-skip-idle/-fast-forward/-sample-windows/
+// -sample-window-insts/-warmup-cycles flags override the scenario's run
+// options; everything else
 // (machine, mitigation columns, workload rows) comes from the scenario. The
 // effective hash is printed on stderr and stamped into -metrics-out records.
 func runScenario(arg string, opt harness.Options, explicit map[string]bool) {
@@ -227,6 +239,9 @@ func runScenario(arg string, opt harness.Options, explicit map[string]bool) {
 	}
 	if explicit["workers"] {
 		s.Run.Workers = opt.Workers
+	}
+	if explicit["parallel-cores"] {
+		s.Run.ParallelCores = opt.ParallelCores
 	}
 	if explicit["skip-idle"] {
 		s.Run.SkipIdle = !opt.NoSkipIdle
@@ -299,6 +314,10 @@ func runPerf(path, note string, opt harness.Options) {
 		rep.SampledSweep.Windows, rep.SampledSweep.WindowInsts,
 		rep.SampledSweep.SampledWallSeconds, rep.SampledSweep.FullWallSeconds,
 		rep.SampledSweep.Speedup, rep.SampledSweep.MaxIPCDeltaPct)
+	fmt.Printf("multicore:   %s on %d cores: %.2fs parallel vs %.2fs serial (%.2fx at GOMAXPROCS=%d)\n",
+		rep.Multicore.Workload, rep.Multicore.Cores,
+		rep.Multicore.ParallelWallSeconds, rep.Multicore.SerialWallSeconds,
+		rep.Multicore.Speedup, rep.Multicore.GoMaxProcs)
 	fmt.Printf("report:      %s\n", path)
 	fmt.Println(notice)
 	if regressed {

@@ -1,0 +1,202 @@
+package cpu
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Intra-machine parallel stepping.
+//
+// Each simulated core runs its Tick on a persistent worker goroutine; the
+// machine cycle is a bulk-synchronous step with one ordering rule, the
+// *baton*: core i may perform its first access to shared state — the cache
+// hierarchy (even its own L1, which remote cores invalidate through the
+// coherence directory), the memory image and its MTE tag sidecar, and
+// core.Oracle leak recording — only after every core j < i has completely
+// finished its tick. Everything before that first shared access (wakeup,
+// issue, register reads, ROB bookkeeping, store-queue forwarding) touches
+// only core-private state and overlaps freely across cores.
+//
+// Determinism argument (bit-identity with the serial walk): the serial
+// Step executes Tick(0); Tick(1); ... Tick(n-1). Split each Tick(i) into a
+// private prefix P(i) (reads/writes core-i state, reads immutable state:
+// the program, the config, the oracle's secret regions) and a shared
+// suffix S(i) (everything from the first shared access on). P(i) commutes
+// with any part of any other core's tick, so its results are independent
+// of interleaving. The baton admits S(i) only once ticks 0..i-1 have fully
+// retired and blocks cores > i, so S(i) observes exactly the shared state
+// the serial walk would show it, and applies its effects atomically in
+// core-ID order. Every per-cycle read and write is therefore identical to
+// the serial schedule — not approximately, but bit-for-bit, at any
+// GOMAXPROCS. The -race suite plus the serial-vs-parallel byte-identity
+// tests (parallel_test.go, harness) enforce that the private prefix really
+// is private: any unguarded shared touch is a data race by construction.
+//
+// The machine-level phases that must see all cores quiescent — the
+// PerCycle hook, idle skipping, and the watchdog — run on the scheduler
+// goroutine after the join barrier, exactly where the serial loop runs
+// them.
+
+// stepGate is the per-cycle baton. reset arms it; acquire(i) blocks until
+// every lower-numbered core has finished its tick; finish(i) retires core
+// i and passes the baton on.
+type stepGate struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	turn int    // lowest core ID whose tick has not finished
+	done []bool // done[i]: core i finished its tick this cycle
+}
+
+func newStepGate(n int) *stepGate {
+	g := &stepGate{done: make([]bool, n)}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// reset arms the gate for a new cycle. Called from the scheduler goroutine
+// while no worker is ticking.
+func (g *stepGate) reset() {
+	g.turn = 0
+	for i := range g.done {
+		g.done[i] = false
+	}
+}
+
+// acquire blocks until cores 0..id-1 have all finished, i.e. until shared
+// state holds exactly the serial-order prefix. turn cannot pass id while
+// core id is still running, so the caller holds the baton until finish.
+func (g *stepGate) acquire(id int) {
+	g.mu.Lock()
+	for g.turn < id {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// finish marks core id's tick complete. A core that never touched shared
+// state finishes without ever acquiring; the turn cursor skips over it.
+func (g *stepGate) finish(id int) {
+	g.mu.Lock()
+	g.done[id] = true
+	for g.turn < len(g.done) && g.done[g.turn] {
+		g.turn++
+	}
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// coreCrew owns one persistent goroutine per core plus the baton. Run
+// starts a crew when the machine is parallel-eligible and shuts it down at
+// the end of the run, so abandoned machines never leak goroutines.
+type coreCrew struct {
+	cores []*Core
+	gate  *stepGate
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	gen  uint64 // step generation; bumping it releases the workers
+	left int    // workers still ticking in the current generation
+	stop bool
+}
+
+// startCrew wires the baton into every core and launches the workers.
+func startCrew(cores []*Core) *coreCrew {
+	cw := &coreCrew{cores: cores, gate: newStepGate(len(cores))}
+	cw.cond = sync.NewCond(&cw.mu)
+	for _, c := range cores {
+		c.gate = cw.gate
+		go cw.worker(c)
+	}
+	return cw
+}
+
+func (cw *coreCrew) worker(c *Core) {
+	var gen uint64
+	for {
+		cw.mu.Lock()
+		for cw.gen == gen && !cw.stop {
+			cw.cond.Wait()
+		}
+		if cw.stop {
+			cw.mu.Unlock()
+			return
+		}
+		gen = cw.gen
+		cw.mu.Unlock()
+		c.gateHeld = false
+		c.Tick()
+		cw.gate.finish(c.ID)
+		cw.mu.Lock()
+		cw.left--
+		if cw.left == 0 {
+			cw.cond.Broadcast()
+		}
+		cw.mu.Unlock()
+	}
+}
+
+// step runs one machine cycle with every core on its own goroutine and
+// returns once all ticks have finished. The mutex handoffs on entry and
+// exit give the scheduler goroutine happens-before edges over every
+// worker's writes, so the post-barrier phases (PerCycle, skipIdle,
+// watchdog, result collection) read fully published core state.
+func (cw *coreCrew) step() {
+	cw.gate.reset()
+	cw.mu.Lock()
+	cw.left = len(cw.cores)
+	cw.gen++
+	cw.cond.Broadcast()
+	for cw.left > 0 {
+		cw.cond.Wait()
+	}
+	cw.mu.Unlock()
+}
+
+// shutdown releases the workers and detaches the baton so subsequent Steps
+// run serially again. Only called between steps, when every worker is
+// parked in its generation wait.
+func (cw *coreCrew) shutdown() {
+	cw.mu.Lock()
+	cw.stop = true
+	cw.cond.Broadcast()
+	cw.mu.Unlock()
+	for _, c := range cw.cores {
+		c.gate = nil
+	}
+}
+
+// parallelEligible reports whether this run may step cores concurrently.
+// Ineligible shapes fall back to the serial walk, which is always correct:
+//   - fewer than two cores, or an explicit ParallelCores=1 request;
+//   - auto mode (ParallelCores=0) on a single-threaded GOMAXPROCS, where
+//     goroutine handoffs per cycle would only add overhead;
+//   - a PerCycle hook (the chaos driver must observe every cycle with the
+//     machine quiescent — and skipping is disabled for the same reason);
+//   - chaos timing hooks or a TraceFn: their closures share injector or
+//     writer state across cores, which the baton does not serialise for
+//     the core-private tick phase.
+func (m *Machine) parallelEligible() bool {
+	switch {
+	case len(m.Cores) < 2:
+		return false
+	case m.ParallelCores == 1:
+		return false
+	case m.ParallelCores == 0 && runtime.GOMAXPROCS(0) == 1:
+		return false
+	}
+	if m.PerCycle != nil {
+		return false
+	}
+	if m.Hier.ChaosMemLatency != nil || m.Hier.ChaosLFBDelay != nil {
+		return false
+	}
+	for _, c := range m.Cores {
+		if c.TraceFn != nil || c.ChaosBranchDelay != nil {
+			return false
+		}
+		if p := c.Predictor(); p != nil && p.ChaosFlipCond != nil {
+			return false
+		}
+	}
+	return true
+}

@@ -65,6 +65,7 @@ func (c *Core) policyBlocksIssue(e *robEntry) (bool, string) {
 		if !in.HasImm {
 			rm, _ = c.readSource2(e, in.Rm)
 		}
+		c.enterShared()
 		if !c.hier.Probe(c.ID, isa.EffAddr(in, rn, rm), c.cycle, c.domLFBHit) {
 			return true, "policy_block_dom"
 		}
@@ -136,6 +137,7 @@ func (c *Core) promoteCandidates(seq uint64) {
 		return
 	}
 	for _, ev := range c.candidates[seq] {
+		c.enterShared()
 		c.oracle.Record(ev)
 	}
 	delete(c.candidates, seq)

@@ -29,6 +29,11 @@ type Options struct {
 	Budget time.Duration
 	// Workers sizes the evaluation pool (0 = GOMAXPROCS).
 	Workers int
+	// ParallelCores sets intra-machine core stepping on every evaluation
+	// machine (cpu.Machine.ParallelCores semantics). Result-neutral: the
+	// corpus bytes are identical for any value, so it is not part of the
+	// evaluation cache key.
+	ParallelCores int
 	// OutDir is the results root: PoCs land in OutDir/pocs, architectural
 	// divergences in OutDir/differential. Empty disables emission (tests).
 	OutDir string
@@ -83,16 +88,16 @@ func storeSpace(mits []core.Mitigation) string {
 	return "fuzz-" + hex.EncodeToString(h.Sum(nil))[:12]
 }
 
-func evaluateCached(c *Candidate, mits []core.Mitigation, st *store.Store, space string) (*Evaluation, bool) {
+func evaluateCached(c *Candidate, mits []core.Mitigation, st *store.Store, space string, parallelCores int) (*Evaluation, bool) {
 	if st == nil {
-		return EvaluateCandidate(c, mits), false
+		return EvaluateCandidateParallel(c, mits, parallelCores), false
 	}
 	key := store.Key{Space: space, Name: c.Hash()}
 	var cached Evaluation
 	if ok, err := st.GetJSON(key, &cached); err == nil && ok {
 		return &cached, true
 	}
-	ev := EvaluateCandidate(c, mits)
+	ev := EvaluateCandidateParallel(c, mits, parallelCores)
 	_ = st.PutJSON(key, ev) // best-effort: read-only stores degrade to misses
 	return ev, false
 }
@@ -136,7 +141,7 @@ func Run(opts Options) (*Report, error) {
 		hits := make([]bool, n)
 		par.ForEachOrdered(n, opts.Workers, func(i int) {
 			cands[i] = Generate(opts.Seed, start+i)
-			evals[i], hits[i] = evaluateCached(cands[i], mits, opts.Store, space)
+			evals[i], hits[i] = evaluateCached(cands[i], mits, opts.Store, space, opts.ParallelCores)
 		}, func(i int) {
 			c, ev := cands[i], evals[i]
 			report.Candidates++
@@ -210,7 +215,7 @@ func Run(opts Options) (*Report, error) {
 				continue
 			}
 		}
-		final := EvaluateCandidate(min, mits)
+		final := EvaluateCandidateParallel(min, mits, opts.ParallelCores)
 		if !final.Valid || !final.Flagged() {
 			report.Unminimisable = append(report.Unminimisable,
 				fmt.Sprintf("%s: minimised form no longer flags (valid=%v)", f.Cand.Name(), final.Valid))

@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"specasan/internal/core"
+	"specasan/internal/cpu"
+	"specasan/internal/obs"
+	"specasan/internal/workloads"
+)
+
+// TestParallelCoresSweepByteIdentical is the harness half of the
+// intra-machine parallelism contract: a figure-style sweep whose machines
+// step their cores on one goroutine each must be byte-identical to the same
+// sweep stepping serially — results, per-cell counter sets, the verbose
+// log, the JSONL metrics stream, and a Chrome trace of a 4-core cell. The
+// PARSEC rows are the paper's multithreaded configuration, so their cells
+// genuinely engage the parallel schedule; the SPEC row pins the single-core
+// fallback inside the same sweep.
+func TestParallelCoresSweepByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	specs := []*workloads.Spec{
+		workloads.ByName("blackscholes"), // 4-core PARSEC
+		workloads.ByName("swaptions"),    // 4-core PARSEC
+		workloads.ByName("505.mcf_r"),    // single-core: fallback stays serial
+	}
+	for _, s := range specs {
+		if s == nil {
+			t.Fatal("workload missing")
+		}
+	}
+	mits := []core.Mitigation{core.Unsafe, core.SpecASan}
+
+	run := func(parallelCores int) string {
+		var log, metrics bytes.Buffer
+		var tr *obs.Tracer
+		opt := Options{
+			Scale: 0.02, MaxCycles: 50_000_000,
+			Verbose: true, Log: &log,
+			Metrics:       &metrics,
+			ParallelCores: parallelCores,
+			Attach: func(bench string, mit core.Mitigation, m *cpu.Machine) {
+				if bench == "blackscholes" && mit == core.SpecASan {
+					tr = obs.NewTracer(len(m.Cores), 0)
+					m.AttachObs(tr, nil)
+				}
+			},
+		}
+		sw, err := RunSweep(specs, mits, opt)
+		if err != nil {
+			t.Fatalf("parallelCores=%d: %v", parallelCores, err)
+		}
+		if tr == nil {
+			t.Fatalf("parallelCores=%d: traced cell never ran", parallelCores)
+		}
+		var b bytes.Buffer
+		b.WriteString(sweepFingerprint(sw, &log))
+		for _, bench := range sw.Benchmarks {
+			for _, mit := range sw.Mitigations {
+				if r := sw.Results[bench][mit]; r != nil {
+					fmt.Fprintf(&b, "%s/%v stats: %s\n", bench, mit, r.Stats)
+				}
+			}
+		}
+		fmt.Fprintf(&b, "--- metrics ---\n%s", metrics.String())
+		if err := obs.WriteChromeTrace(&b, tr); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+
+	serial := run(1)
+	if got := run(4); got != serial {
+		t.Errorf("parallel-core sweep diverges from serial:\n-- serial --\n%.4000s\n-- parallel --\n%.4000s",
+			serial, got)
+	}
+}

@@ -22,9 +22,14 @@ import (
 // the sweep measurement to workers=GOMAXPROCS. v3 adds the golden
 // interpreter's functional throughput and a sampled-vs-full sweep leg
 // (fast-forward sampling), and reports the warmup knob the single-core
-// measurement used.
+// measurement used. v4 adds the intra-machine multicore block (one
+// PARSEC machine stepped serially vs one goroutine per simulated core)
+// and unpins the sweep leg's worker count: it now comes from the caller
+// (-sweep-workers; 0 still means GOMAXPROCS) and the resolved value is
+// recorded instead of silently imposed.
 const (
-	PerfSchema   = "specasan-bench/perf/v3"
+	PerfSchema   = "specasan-bench/perf/v4"
+	perfSchemaV3 = "specasan-bench/perf/v3"
 	perfSchemaV2 = "specasan-bench/perf/v2"
 	perfSchemaV1 = "specasan-bench/perf/v1"
 )
@@ -93,6 +98,22 @@ type SampledSweepPerf struct {
 	MaxIPCDeltaPct     float64 `json:"max_ipc_delta_pct"`
 }
 
+// MulticorePerf is the intra-machine parallel-stepping measurement: the
+// same multi-core machine run start to finish with serial core stepping
+// and with one goroutine per simulated core (ParallelCores forced past
+// the auto fallback). The determinism suite pins the two runs to
+// byte-identical results; this block records what the goroutines buy —
+// or, on a single-hardware-thread host, what the barrier handoffs cost.
+type MulticorePerf struct {
+	Workload            string  `json:"workload"`
+	Cores               int     `json:"cores"`
+	GoMaxProcs          int     `json:"gomaxprocs"`
+	Cycles              uint64  `json:"cycles_simulated"`
+	SerialWallSeconds   float64 `json:"serial_wall_seconds"`
+	ParallelWallSeconds float64 `json:"parallel_wall_seconds"`
+	Speedup             float64 `json:"speedup_vs_serial"`
+}
+
 // SweepPerf is the harness-level measurement: wall time of one normalized-
 // execution-time sweep on the worker pool, against the serial path on the
 // same host and inputs.
@@ -127,6 +148,9 @@ type PerfHistoryEntry struct {
 	// recorded before it carry zero and marshal without the fields.
 	GoldenMIPS          float64 `json:"golden_mips,omitempty"`
 	SampledSweepSpeedup float64 `json:"sampled_sweep_speedup_vs_full,omitempty"`
+	// MulticoreCores and MulticoreSpeedup arrive with the v4 schema.
+	MulticoreCores   int     `json:"multicore_cores,omitempty"`
+	MulticoreSpeedup float64 `json:"multicore_speedup_vs_serial,omitempty"`
 }
 
 // PerfReport is the schema of BENCH_sim.json, the tracked performance
@@ -140,6 +164,7 @@ type PerfReport struct {
 	Golden            GoldenPerf       `json:"golden"`
 	Sweep             SweepPerf        `json:"sweep"`
 	SampledSweep      SampledSweepPerf `json:"sampled_sweep"`
+	Multicore         MulticorePerf    `json:"multicore"`
 	Baseline          PerfBaseline     `json:"baseline"`
 	SingleCoreSpeedup float64          `json:"single_core_speedup_vs_baseline"`
 	// History holds every measurement ever recorded, oldest first, ending
@@ -161,6 +186,8 @@ func (r *PerfReport) HistoryEntry(description string) PerfHistoryEntry {
 
 		GoldenMIPS:          r.Golden.SimMIPS,
 		SampledSweepSpeedup: r.SampledSweep.Speedup,
+		MulticoreCores:      r.Multicore.Cores,
+		MulticoreSpeedup:    r.Multicore.Speedup,
 	}
 }
 
@@ -183,9 +210,10 @@ func LoadPerfHistory(path string) ([]PerfHistoryEntry, error) {
 	switch old.Schema {
 	case perfSchemaV1:
 		return []PerfHistoryEntry{old.HistoryEntry("v1 report (pre-history)")}, nil
-	case perfSchemaV2, PerfSchema:
-		// v2 entries simply lack the v3 fields (golden MIPS, sampled
-		// speedup); the history array itself is forward-compatible.
+	case perfSchemaV2, perfSchemaV3, PerfSchema:
+		// Pre-v4 entries simply lack the later fields (golden MIPS, sampled
+		// speedup, multicore speedup); the history array itself is
+		// forward-compatible.
 		return old.History, nil
 	default:
 		return nil, fmt.Errorf("%s: unknown perf schema %q", path, old.Schema)
@@ -389,6 +417,73 @@ func MeasureSampledSweep(specs []*workloads.Spec, mits []core.Mitigation, opt Op
 	return sp, nil
 }
 
+// Fixed recipe for the multicore leg: a 4-thread PARSEC kernel large
+// enough that a whole-machine run dominates goroutine startup, bounded so
+// a wedged build cannot hang the measurement.
+const (
+	perfMulticoreWorkload  = "blackscholes"
+	perfMulticoreScale     = 1
+	perfMulticoreMaxCycles = 100_000_000
+)
+
+// MeasureMulticore runs the fixed multicore recipe twice — serial core
+// stepping, then one goroutine per simulated core — and reports both wall
+// times. ParallelCores is forced to the core count for the parallel leg,
+// bypassing the GOMAXPROCS auto fallback, so the block records the real
+// cost/benefit of the goroutine schedule on this host either way.
+func MeasureMulticore() (MulticorePerf, error) {
+	spec := workloads.ByName(perfMulticoreWorkload)
+	if spec == nil {
+		return MulticorePerf{}, fmt.Errorf("workload %s missing", perfMulticoreWorkload)
+	}
+	run := func(parallel int) (float64, uint64, error) {
+		prog, err := spec.Build(false, perfMulticoreScale)
+		if err != nil {
+			return 0, 0, err
+		}
+		cfg := core.DefaultConfig()
+		cfg.Cores = spec.Threads
+		m, err := cpu.NewMachine(cfg, core.Unsafe, prog)
+		if err != nil {
+			return 0, 0, err
+		}
+		for i := 0; i < spec.Threads; i++ {
+			m.Core(i).SetReg(isa.X0, uint64(i))
+		}
+		m.ParallelCores = parallel
+		start := time.Now()
+		res := m.Run(perfMulticoreMaxCycles)
+		wall := time.Since(start)
+		if res.Err != nil {
+			return 0, 0, fmt.Errorf("%s (parallel=%d): %v", perfMulticoreWorkload, parallel, res.Err)
+		}
+		if res.TimedOut {
+			return 0, 0, fmt.Errorf("%s (parallel=%d): timed out at %d cycles", perfMulticoreWorkload, parallel, res.Cycles)
+		}
+		return wall.Seconds(), res.Cycles, nil
+	}
+	serialWall, cycles, err := run(1)
+	if err != nil {
+		return MulticorePerf{}, err
+	}
+	parallelWall, _, err := run(spec.Threads)
+	if err != nil {
+		return MulticorePerf{}, err
+	}
+	mp := MulticorePerf{
+		Workload:            perfMulticoreWorkload,
+		Cores:               spec.Threads,
+		GoMaxProcs:          runtime.GOMAXPROCS(0),
+		Cycles:              cycles,
+		SerialWallSeconds:   serialWall,
+		ParallelWallSeconds: parallelWall,
+	}
+	if parallelWall > 0 {
+		mp.Speedup = serialWall / parallelWall
+	}
+	return mp, nil
+}
+
 // MeasureSweep times one Figure 6-style sweep twice — serial, then on the
 // worker pool — and reports both wall times. Logging is disabled for the
 // measurement; the determinism tests cover output equivalence separately.
@@ -426,11 +521,13 @@ func MeasureSweep(specs []*workloads.Spec, mits []core.Mitigation, opt Options) 
 }
 
 // MeasurePerf produces the full report: single-core steady state, golden
-// interpreter throughput, the serial-vs-parallel sweep comparison, and the
-// sampled-vs-full sweep comparison. The sweep legs are always measured at
-// workers=GOMAXPROCS (the schema pins this so the recorded speedups are
-// meaningful), overriding any opt.Workers value. Warmup for the single-core
-// leg comes from opt's WarmupCycles knob (DefaultWarmupCycles when unset).
+// interpreter throughput, the serial-vs-parallel sweep comparison, the
+// sampled-vs-full sweep comparison, and the intra-machine multicore
+// comparison. The sweep legs run at opt.Workers (0 = GOMAXPROCS, the
+// historical pin) and the resolved pool size is recorded in the report —
+// the -sweep-workers flag reaches here, it is no longer silently
+// overridden. Warmup for the single-core leg comes from opt's WarmupCycles
+// knob (DefaultWarmupCycles when unset).
 func MeasurePerf(steps uint64, specs []*workloads.Spec, mits []core.Mitigation, opt Options) (*PerfReport, error) {
 	single, err := MeasureSingleCore(steps, opt.warmup())
 	if err != nil {
@@ -440,8 +537,11 @@ func MeasurePerf(steps uint64, specs []*workloads.Spec, mits []core.Mitigation, 
 	if err != nil {
 		return nil, err
 	}
-	opt.Workers = 0 // par.Workers maps 0 to GOMAXPROCS
 	sweep, err := MeasureSweep(specs, mits, opt)
+	if err != nil {
+		return nil, err
+	}
+	multi, err := MeasureMulticore()
 	if err != nil {
 		return nil, err
 	}
@@ -469,6 +569,7 @@ func MeasurePerf(steps uint64, specs []*workloads.Spec, mits []core.Mitigation, 
 		Golden:       gold,
 		Sweep:        sweep,
 		SampledSweep: sampled,
+		Multicore:    multi,
 		Baseline:     base,
 	}
 	if single.HostNsPerCycle > 0 {

@@ -27,6 +27,10 @@ func TestPerfReportRoundTrip(t *testing.T) {
 			Workloads: 10, Mitigations: 5, Cells: 50, Scale: 1,
 			Workers: 8, WallSeconds: 12.5, SerialWallSeconds: 80.1, Speedup: 6.4,
 		},
+		Multicore: MulticorePerf{
+			Workload: "blackscholes", Cores: 4, GoMaxProcs: 8, Cycles: 1_500_000,
+			SerialWallSeconds: 2.4, ParallelWallSeconds: 0.9, Speedup: 2.67,
+		},
 		Baseline:          ReferenceBaseline(),
 		SingleCoreSpeedup: 3.52,
 	}
@@ -58,6 +62,49 @@ func TestPerfReportRoundTrip(t *testing.T) {
 	}
 	if !bytes.Equal(data, data2) {
 		t.Fatal("re-marshal is not byte-identical")
+	}
+}
+
+// TestLoadPerfHistoryAcceptsOldSchemas pins the v4 upgrade path: a
+// pre-existing v3 (or v2) report's history must load verbatim so the
+// cross-PR trajectory — and the hash-keyed regression gate comparing its
+// last two entries — survives the schema bump.
+func TestLoadPerfHistoryAcceptsOldSchemas(t *testing.T) {
+	for _, schema := range []string{perfSchemaV2, perfSchemaV3} {
+		old := &PerfReport{
+			Schema:      schema,
+			GeneratedAt: "2026-08-01T00:00:00Z",
+			History: []PerfHistoryEntry{
+				{GeneratedAt: "2026-07-01T00:00:00Z", HostNsPerCycle: 200, SimMIPS: 5, ScenarioHash: "abc123"},
+				{GeneratedAt: "2026-08-01T00:00:00Z", HostNsPerCycle: 180, SimMIPS: 6, ScenarioHash: "abc123"},
+			},
+		}
+		path := filepath.Join(t.TempDir(), "BENCH_sim.json")
+		if err := old.WriteJSON(path); err != nil {
+			t.Fatal(err)
+		}
+		hist, err := LoadPerfHistory(path)
+		if err != nil {
+			t.Fatalf("%s: %v", schema, err)
+		}
+		if !reflect.DeepEqual(hist, old.History) {
+			t.Fatalf("%s history did not load verbatim:\n%+v\n%+v", schema, hist, old.History)
+		}
+		// The gate still compares across the bump: a v4 report appending to
+		// this history must find the v3 entry as its reference.
+		cur := &PerfReport{Schema: PerfSchema, GeneratedAt: "2026-08-08T00:00:00Z",
+			ScenarioHash: "abc123",
+			SingleCore:   SingleCorePerf{HostNsPerCycle: 170, SimMIPS: 6.4}}
+		if err := cur.AppendHistory(path, "v4 entry"); err != nil {
+			t.Fatal(err)
+		}
+		if n := len(cur.History); n != 3 {
+			t.Fatalf("history length = %d, want 3", n)
+		}
+		notice, regressed := cur.RegressionVsPrevious()
+		if regressed {
+			t.Fatalf("faster run flagged as regression: %s", notice)
+		}
 	}
 }
 
