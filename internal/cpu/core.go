@@ -11,7 +11,6 @@
 package cpu
 
 import (
-	"specasan/internal/asm"
 	"specasan/internal/branch"
 	"specasan/internal/cache"
 	"specasan/internal/core"
@@ -120,7 +119,7 @@ type robEntry struct {
 
 	// Branch prediction state carried over from fetch.
 	predTaken  bool
-	rsbPred    bool   // prediction came from the RSB
+	rsbPred    bool // prediction came from the RSB
 	predTarget uint64
 	ghrSnap    uint64 // global-history snapshot at prediction time
 
@@ -174,7 +173,7 @@ type Core struct {
 	cfg *core.Config
 	mit core.Mitigation
 
-	prog   *asm.Program
+	fe     Frontend
 	hier   *cache.Hierarchy
 	img    *mem.Image
 	pred   *branch.Predictor
@@ -195,9 +194,9 @@ type Core struct {
 
 	// Front end.
 	fetchPC        uint64
-	fetchStallTo   uint64 // i-cache miss / redirect penalty
-	fetchBlockedBy uint64 // unresolved branch seq stalling fetch (CFI / no-prediction)
-	lastFetchLine  uint64 // line of the previous I-fetch (one access per line)
+	fetchStallTo   uint64        // i-cache miss / redirect penalty
+	fetchBlockedBy uint64        // unresolved branch seq stalling fetch (CFI / no-prediction)
+	lastFetchLine  uint64        // line of the previous I-fetch (one access per line)
 	fetchQ         []fetchedInst // power-of-two ring, indexed via fqMask
 	fqHead         int           // ring index of the oldest undispatched entry
 	fqCount        int           // live entries in the ring
@@ -346,8 +345,10 @@ type fetchedInst struct {
 	stallOnResolve bool
 }
 
-// NewCore builds a core attached to shared machine structures.
-func NewCore(id int, cfg *core.Config, mit core.Mitigation, prog *asm.Program,
+// NewCore builds a core attached to shared machine structures. The frontend
+// supplies the instruction stream (see Frontend); every core of a machine
+// shares one.
+func NewCore(id int, cfg *core.Config, mit core.Mitigation, fe Frontend,
 	hier *cache.Hierarchy, img *mem.Image, oracle *core.Oracle, tagSeed uint64) *Core {
 
 	pol := mit.Descriptor()
@@ -355,7 +356,7 @@ func NewCore(id int, cfg *core.Config, mit core.Mitigation, prog *asm.Program,
 		ID:      id,
 		cfg:     cfg,
 		mit:     mit,
-		prog:    prog,
+		fe:      fe,
 		hier:    hier,
 		img:     img,
 		oracle:  oracle,
@@ -363,7 +364,7 @@ func NewCore(id int, cfg *core.Config, mit core.Mitigation, prog *asm.Program,
 		robCap:  cfg.ROBEntries,
 		nextSeq: 1,
 		headSeq: 1,
-		fetchPC: prog.Entry,
+		fetchPC: fe.EntryPC(),
 		aluFree: make([]uint64, cfg.ALUs),
 		mulFree: make([]uint64, 1),
 		mduPred: make(map[uint64]uint8),

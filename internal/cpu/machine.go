@@ -113,16 +113,23 @@ type Machine struct {
 // runs all cores share the program (SPMD) and the memory image; per-core
 // behaviour is steered through registers set with Core.SetReg.
 func NewMachine(cfg core.Config, mit core.Mitigation, prog *asm.Program) (*Machine, error) {
+	return NewMachineFrontend(cfg, mit, AssembledFrontend{Prog: prog})
+}
+
+// NewMachineFrontend builds a machine fetching from an arbitrary instruction
+// source — the seam behind NewMachine. All cores share the frontend (SPMD)
+// and the memory image it initialises.
+func NewMachineFrontend(cfg core.Config, mit core.Mitigation, fe Frontend) (*Machine, error) {
 	img := mem.NewImage()
-	img.LoadProgram(prog)
-	return newMachineOn(cfg, mit, prog, img)
+	fe.InitImage(img)
+	return newMachineOn(cfg, mit, fe, img)
 }
 
 // newMachineOn builds a machine over a caller-supplied memory image (already
 // loaded; the machine takes ownership). The state-transplant constructor
 // NewMachineAt enters here with a golden-interpreter memory snapshot instead
 // of a freshly loaded program image.
-func newMachineOn(cfg core.Config, mit core.Mitigation, prog *asm.Program, img *mem.Image) (*Machine, error) {
+func newMachineOn(cfg core.Config, mit core.Mitigation, fe Frontend, img *mem.Image) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -155,7 +162,7 @@ func newMachineOn(cfg core.Config, mit core.Mitigation, prog *asm.Program, img *
 
 	m := &Machine{Cfg: cfg, Mit: mit, Img: img, Hier: hier, Oracle: oracle, SkipIdle: true}
 	for i := 0; i < cfg.Cores; i++ {
-		c := NewCore(i, &m.Cfg, mit, prog, hier, img, oracle, TagSeedBase+uint64(i))
+		c := NewCore(i, &m.Cfg, mit, fe, hier, img, oracle, TagSeedBase+uint64(i))
 		pred, err := branch.New(branch.Config{
 			PHTBits: cfg.PHTBits, BTBSize: cfg.BTBSize,
 			RSBDepth: cfg.RSBDepth, BHBLen: cfg.BHBLen,

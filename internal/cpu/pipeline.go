@@ -141,7 +141,7 @@ func (c *Core) fetch() {
 		c.fetchBlockedBy = 0
 	}
 	for n := 0; n < c.cfg.FetchWidth; n++ {
-		in := c.prog.InstAt(c.fetchPC)
+		in := c.fe.InstAt(c.fetchPC)
 		if in == nil {
 			return // off the edge of code; dispatch will fault if reached
 		}
@@ -261,7 +261,7 @@ func (c *Core) fetch() {
 }
 
 func (c *Core) targetIsBTI(pc uint64) bool {
-	in := c.prog.InstAt(pc)
+	in := c.fe.InstAt(pc)
 	return in != nil && in.Op == isa.BTI
 }
 

@@ -1,8 +1,9 @@
-package golden
+package golden_test
 
 import (
 	"testing"
 
+	"specasan/internal/golden"
 	"specasan/internal/workloads"
 )
 
@@ -30,8 +31,8 @@ func BenchmarkGoldenRun(b *testing.B) {
 	var insts uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := New(prog).Run(1 << 62)
-		if res.Reason != StopExit {
+		res := golden.New(prog).Run(1 << 62)
+		if res.Reason != golden.StopExit {
 			b.Fatalf("walk ended %v", res.Reason)
 		}
 		insts += res.Insts
@@ -53,10 +54,10 @@ func BenchmarkGoldenRunTouched(b *testing.B) {
 	var insts uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ip := New(prog)
-		ip.Touch = NewTouchRing(1 << 15)
+		ip := golden.New(prog)
+		ip.Touch = golden.NewTouchRing(1 << 15)
 		res := ip.Run(1 << 62)
-		if res.Reason != StopExit {
+		if res.Reason != golden.StopExit {
 			b.Fatalf("walk ended %v", res.Reason)
 		}
 		insts += res.Insts

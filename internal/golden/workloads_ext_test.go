@@ -1,0 +1,34 @@
+// External test package: workloads imports trace, which imports golden, so
+// tests that drive the interpreter over real workload kernels must live
+// outside package golden to avoid an import cycle. The lockstep machinery
+// itself stays internal (bbcache_test.go) and is reached through the
+// Lockstep/MixedChunks test exports.
+package golden_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"specasan/internal/golden"
+	"specasan/internal/workloads"
+)
+
+func TestBlockCacheMatchesNaiveWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, name := range []string{"505.mcf_r", "508.namd_r", "520.omnetpp_r", "531.deepsjeng_r"} {
+		spec := workloads.ByName(name)
+		if spec == nil {
+			t.Fatalf("unknown workload %s", name)
+		}
+		for _, tagged := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/mte=%v", name, tagged), func(t *testing.T) {
+				prog, err := spec.Build(tagged, 0.1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				golden.Lockstep(t, prog, tagged, 0x5eca5a, golden.MixedChunks(rng, 30))
+			})
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"bytes"
+	"flag"
+	"reflect"
+	"testing"
+
+	"specasan/internal/core"
+	"specasan/internal/cpu"
+	"specasan/internal/store"
+	"specasan/internal/trace"
+	"specasan/internal/workloads"
+)
+
+var updateTraceFixture = flag.Bool("update-trace", false,
+	"re-record the golden trace fixture in testdata/ (run after a deliberate generator or format change)")
+
+// The fixture recipe: a tagged single-core registry cell small enough to
+// check in but real enough to exercise the MTE tag section, the touch
+// stream, and the SpecASan replay path.
+const (
+	fixturePath     = "testdata/golden-505.mcf_r.satrace"
+	fixtureWorkload = "505.mcf_r"
+	fixtureScale    = 0.02
+)
+
+var fixtureMit = core.SpecASan
+
+// TestGoldenTraceFixtureReplay is the cross-PR compatibility gate: the
+// checked-in trace must still decode (format compatibility), still carry
+// the identity the harness would look up (cache-key compatibility), and a
+// cell replayed from it must match today's live-decode run bit for bit —
+// same PerfResult and a byte-identical metrics JSONL stream. If the
+// workload generator changes deliberately, re-record with
+// `go test ./internal/harness -run TestGoldenTraceFixture -update-trace`.
+func TestGoldenTraceFixtureReplay(t *testing.T) {
+	spec := workloads.ByName(fixtureWorkload)
+	if spec == nil {
+		t.Fatalf("workload %s missing", fixtureWorkload)
+	}
+	tagged := fixtureMit.MTEEnabled()
+	if *updateTraceFixture {
+		tr, err := spec.RecordTrace(tagged, fixtureScale, trace.RecordConfig{
+			MTEOn:   tagged,
+			TagSeed: cpu.TagSeedBase,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.WriteFile(fixturePath); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d insts)", fixturePath, tr.Meta.Insts)
+	}
+
+	tr, err := trace.ReadFile(fixturePath) // full checksum + framing verify
+	if err != nil {
+		t.Fatalf("fixture no longer decodes (format drift?): %v", err)
+	}
+	id := spec.TraceIdentity(tagged, fixtureScale)
+	if !tr.Meta.Identity.Same(id) {
+		t.Fatalf("fixture identity %+v no longer matches the harness lookup %+v; re-record with -update-trace",
+			tr.Meta.Identity, id)
+	}
+
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Save(st, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	opt := DefaultOptions()
+	opt.Scale = fixtureScale
+	var liveMetrics, replayMetrics bytes.Buffer
+
+	opt.Metrics = &liveMetrics
+	live, err := RunBenchmark(spec, fixtureMit, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opt.Metrics = &replayMetrics
+	opt.Artifacts, opt.TraceReplay = st, true
+	replayed, err := RunBenchmark(spec, fixtureMit, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(live, replayed) {
+		t.Errorf("fixture replay diverges from live decode:\nlive:   %+v\nreplay: %+v", live, replayed)
+	}
+	if !bytes.Equal(liveMetrics.Bytes(), replayMetrics.Bytes()) {
+		t.Errorf("metrics JSONL streams differ (live %d bytes, replay %d bytes)",
+			liveMetrics.Len(), replayMetrics.Len())
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"specasan/internal/obs"
 	"specasan/internal/par"
 	"specasan/internal/stats"
+	"specasan/internal/store"
 	"specasan/internal/workloads"
 )
 
@@ -82,6 +83,23 @@ type Options struct {
 	// (scenario.ResultHash). Empty disables the cache even when Store is
 	// set — results without a scenario identity are not addressable.
 	ResultHash string
+
+	// TraceRecord, when set together with Artifacts, records each cell's
+	// workload build as a replayable trace (internal/trace) the first time
+	// that build identity runs — record-once, a pure side effect: the cell
+	// itself still live-decodes unless TraceReplay is also set, and results
+	// are unchanged either way.
+	TraceRecord bool
+	// TraceReplay, when set together with Artifacts, runs each cell through
+	// the recorded trace's frontend instead of live-decoding the assembled
+	// program. Replay is bit-identical to live decode (pinned by test). A
+	// missing recording is an error unless TraceRecord is also set, which
+	// records on miss and then replays.
+	TraceReplay bool
+	// Artifacts is the content-addressed store trace artifacts live in — a
+	// raw *store.Store, distinct from the Store cell cache seam (though both
+	// may share one on-disk root). Required by TraceRecord/TraceReplay.
+	Artifacts *store.Store
 
 	// FastForwardInsts, when > 0, runs the first N instructions of every
 	// single-core cell on the functional golden interpreter, transplants the
@@ -176,6 +194,11 @@ type PerfResult struct {
 	// Restricted) are extrapolated from the detailed regions it describes;
 	// Committed and Output are exact.
 	Sampled *obs.SampledRegions
+	// Note is a deterministic per-cell diagnostic the harness attaches (e.g.
+	// "uncached: source override" when a cell a caching run wanted to cache
+	// could not be keyed). It rides into CellResult and the serve response
+	// but never affects the simulated result.
+	Note string
 }
 
 // RunBenchmark executes one kernel under one mitigation and returns its
@@ -184,6 +207,10 @@ type PerfResult struct {
 // multi-threaded cells and programs too short to sample fall back to the
 // full detailed run below.
 func RunBenchmark(spec *workloads.Spec, mit core.Mitigation, opt Options) (*PerfResult, error) {
+	spec, err := ResolveTrace(spec, mit, opt)
+	if err != nil {
+		return nil, err
+	}
 	if opt.Sampling() {
 		if spec.Threads == 1 {
 			r, err := runSampled(spec, mit, opt)
@@ -196,16 +223,16 @@ func RunBenchmark(spec *workloads.Spec, mit core.Mitigation, opt Options) (*Perf
 				spec.Name, mit, spec.Threads)
 		}
 	}
-	prog, err := spec.Build(mit.MTEEnabled(), opt.Scale)
+	fe, err := specFrontend(spec, mit, opt)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", spec.Name, err)
+		return nil, err
 	}
 	cfg := core.DefaultConfig()
 	if opt.Config != nil {
 		cfg = *opt.Config
 	}
 	cfg.Cores = spec.Threads
-	m, err := cpu.NewMachine(cfg, mit, prog)
+	m, err := cpu.NewMachineFrontend(cfg, mit, fe)
 	if err != nil {
 		return nil, err
 	}
@@ -309,9 +336,11 @@ func (s *Sweep) FailedCells() []string {
 //     store in read-only mode) are deliberately non-fatal.
 func RunCell(spec *workloads.Spec, mit core.Mitigation, opt Options) (r *PerfResult, cached bool, err error) {
 	// Source-override specs are excluded: their program text lives outside
-	// the scenario, so (ResultHash, name) does not pin their identity.
-	cacheable := opt.Store != nil && opt.ResultHash != "" &&
-		opt.Metrics == nil && opt.Attach == nil && spec.Source == ""
+	// the scenario, so (ResultHash, name) does not pin their identity. That
+	// exclusion used to be silent; it now surfaces as a Note on the result.
+	wantCache := opt.Store != nil && opt.ResultHash != "" &&
+		opt.Metrics == nil && opt.Attach == nil
+	cacheable := wantCache && spec.Source == ""
 	if cacheable {
 		if cr, ok := opt.Store.GetCell(opt.ResultHash, spec.Name, mit.String()); ok {
 			if r, err := cr.PerfResult(); err == nil {
@@ -344,6 +373,9 @@ func RunCell(spec *workloads.Spec, mit core.Mitigation, opt Options) (r *PerfRes
 	}
 	if cacheable {
 		opt.Store.PutCell(opt.ResultHash, CellResultOf(r))
+	} else if wantCache && spec.Source != "" {
+		r.Note = "uncached: source override"
+		opt.logf("  %-18s %-12s uncached: source override", spec.Name, mit)
 	}
 	return r, false, nil
 }

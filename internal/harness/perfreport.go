@@ -12,6 +12,7 @@ import (
 	"specasan/internal/golden"
 	"specasan/internal/isa"
 	"specasan/internal/par"
+	"specasan/internal/trace"
 	"specasan/internal/workloads"
 )
 
@@ -26,9 +27,13 @@ import (
 // PARSEC machine stepped serially vs one goroutine per simulated core)
 // and unpins the sweep leg's worker count: it now comes from the caller
 // (-sweep-workers; 0 still means GOMAXPROCS) and the resolved value is
-// recorded instead of silently imposed.
+// recorded instead of silently imposed. v5 adds the trace-replay block:
+// the same single-core cell run start to finish fetching from the
+// live-assembled program and from a recorded trace, so the report records
+// what replay costs (or saves) per simulated instruction.
 const (
-	PerfSchema   = "specasan-bench/perf/v4"
+	PerfSchema   = "specasan-bench/perf/v5"
+	perfSchemaV4 = "specasan-bench/perf/v4"
 	perfSchemaV3 = "specasan-bench/perf/v3"
 	perfSchemaV2 = "specasan-bench/perf/v2"
 	perfSchemaV1 = "specasan-bench/perf/v1"
@@ -114,6 +119,21 @@ type MulticorePerf struct {
 	Speedup             float64 `json:"speedup_vs_serial"`
 }
 
+// ReplayPerf is the trace-replay measurement: the single-core recipe run
+// start to finish fetching from the live-assembled program and from a
+// recorded trace of the same build. Both machines are bit-identical by the
+// replay determinism tests; this block records only what the trace
+// frontend's sorted-block fetch path costs per simulated instruction
+// relative to the assembled program's (Overhead 1.0 = free replay).
+type ReplayPerf struct {
+	Workload        string  `json:"workload"`
+	RecordedInsts   uint64  `json:"recorded_insts"`
+	Committed       uint64  `json:"committed_instructions"`
+	DecodeNsPerInst float64 `json:"decode_ns_per_inst"`
+	ReplayNsPerInst float64 `json:"replay_ns_per_inst"`
+	Overhead        float64 `json:"replay_overhead_vs_decode"`
+}
+
 // SweepPerf is the harness-level measurement: wall time of one normalized-
 // execution-time sweep on the worker pool, against the serial path on the
 // same host and inputs.
@@ -151,6 +171,9 @@ type PerfHistoryEntry struct {
 	// MulticoreCores and MulticoreSpeedup arrive with the v4 schema.
 	MulticoreCores   int     `json:"multicore_cores,omitempty"`
 	MulticoreSpeedup float64 `json:"multicore_speedup_vs_serial,omitempty"`
+	// ReplayOverhead arrives with the v5 schema: trace-replay ns/inst over
+	// live-decode ns/inst for the same cell (1.0 = free replay).
+	ReplayOverhead float64 `json:"replay_overhead_vs_decode,omitempty"`
 }
 
 // PerfReport is the schema of BENCH_sim.json, the tracked performance
@@ -165,6 +188,7 @@ type PerfReport struct {
 	Sweep             SweepPerf        `json:"sweep"`
 	SampledSweep      SampledSweepPerf `json:"sampled_sweep"`
 	Multicore         MulticorePerf    `json:"multicore"`
+	Replay            ReplayPerf       `json:"replay"`
 	Baseline          PerfBaseline     `json:"baseline"`
 	SingleCoreSpeedup float64          `json:"single_core_speedup_vs_baseline"`
 	// History holds every measurement ever recorded, oldest first, ending
@@ -188,6 +212,7 @@ func (r *PerfReport) HistoryEntry(description string) PerfHistoryEntry {
 		SampledSweepSpeedup: r.SampledSweep.Speedup,
 		MulticoreCores:      r.Multicore.Cores,
 		MulticoreSpeedup:    r.Multicore.Speedup,
+		ReplayOverhead:      r.Replay.Overhead,
 	}
 }
 
@@ -210,10 +235,10 @@ func LoadPerfHistory(path string) ([]PerfHistoryEntry, error) {
 	switch old.Schema {
 	case perfSchemaV1:
 		return []PerfHistoryEntry{old.HistoryEntry("v1 report (pre-history)")}, nil
-	case perfSchemaV2, perfSchemaV3, PerfSchema:
-		// Pre-v4 entries simply lack the later fields (golden MIPS, sampled
-		// speedup, multicore speedup); the history array itself is
-		// forward-compatible.
+	case perfSchemaV2, perfSchemaV3, perfSchemaV4, PerfSchema:
+		// Pre-v5 entries simply lack the later fields (golden MIPS, sampled
+		// speedup, multicore speedup, replay overhead); the history array
+		// itself is forward-compatible.
 		return old.History, nil
 	default:
 		return nil, fmt.Errorf("%s: unknown perf schema %q", path, old.Schema)
@@ -484,6 +509,73 @@ func MeasureMulticore() (MulticorePerf, error) {
 	return mp, nil
 }
 
+// MeasureReplay records the single-core recipe as a trace and runs the cell
+// to completion twice — fetching from the live-assembled program, then from
+// the recorded trace's frontend — and reports ns per committed instruction
+// for both legs. A decode-leg machine is built fresh for the replay leg's
+// comparison too, so the two legs differ only in the Frontend behind the
+// fetch stage.
+func MeasureReplay() (ReplayPerf, error) {
+	spec := workloads.ByName(perfWorkloadName)
+	if spec == nil {
+		return ReplayPerf{}, fmt.Errorf("workload %s missing", perfWorkloadName)
+	}
+	tr, err := spec.RecordTrace(false, perfWorkloadScale, trace.RecordConfig{TagSeed: cpu.TagSeedBase})
+	if err != nil {
+		return ReplayPerf{}, err
+	}
+	run := func(mk func() (cpu.Frontend, error)) (float64, uint64, error) {
+		fe, err := mk()
+		if err != nil {
+			return 0, 0, err
+		}
+		cfg := core.DefaultConfig()
+		cfg.Cores = spec.Threads
+		m, err := cpu.NewMachineFrontend(cfg, core.Unsafe, fe)
+		if err != nil {
+			return 0, 0, err
+		}
+		for i := 0; i < spec.Threads; i++ {
+			m.Core(i).SetReg(isa.X0, uint64(i))
+		}
+		start := time.Now()
+		res := m.Run(perfMulticoreMaxCycles)
+		wall := time.Since(start)
+		if res.Err != nil {
+			return 0, 0, fmt.Errorf("%s replay leg: %v", perfWorkloadName, res.Err)
+		}
+		if res.TimedOut || res.Committed == 0 {
+			return 0, 0, fmt.Errorf("%s replay leg: timed out at %d cycles", perfWorkloadName, res.Cycles)
+		}
+		return float64(wall.Nanoseconds()) / float64(res.Committed), res.Committed, nil
+	}
+	decodeNs, committed, err := run(func() (cpu.Frontend, error) {
+		prog, err := spec.Build(false, perfWorkloadScale)
+		if err != nil {
+			return nil, err
+		}
+		return cpu.AssembledFrontend{Prog: prog}, nil
+	})
+	if err != nil {
+		return ReplayPerf{}, err
+	}
+	replayNs, _, err := run(func() (cpu.Frontend, error) { return tr.Frontend() })
+	if err != nil {
+		return ReplayPerf{}, err
+	}
+	rp := ReplayPerf{
+		Workload:        perfWorkloadName,
+		RecordedInsts:   tr.Meta.Insts,
+		Committed:       committed,
+		DecodeNsPerInst: decodeNs,
+		ReplayNsPerInst: replayNs,
+	}
+	if decodeNs > 0 {
+		rp.Overhead = replayNs / decodeNs
+	}
+	return rp, nil
+}
+
 // MeasureSweep times one Figure 6-style sweep twice — serial, then on the
 // worker pool — and reports both wall times. Logging is disabled for the
 // measurement; the determinism tests cover output equivalence separately.
@@ -545,6 +637,10 @@ func MeasurePerf(steps uint64, specs []*workloads.Spec, mits []core.Mitigation, 
 	if err != nil {
 		return nil, err
 	}
+	replay, err := MeasureReplay()
+	if err != nil {
+		return nil, err
+	}
 	// The sampled comparison is pinned at scale perfSampledScale on the
 	// first perfSampledWorkloads specs — the workload regime sampling is
 	// for, kept to a subset so the fully-detailed reference leg stays
@@ -570,6 +666,7 @@ func MeasurePerf(steps uint64, specs []*workloads.Spec, mits []core.Mitigation, 
 		Sweep:        sweep,
 		SampledSweep: sampled,
 		Multicore:    multi,
+		Replay:       replay,
 		Baseline:     base,
 	}
 	if single.HostNsPerCycle > 0 {

@@ -65,12 +65,12 @@ func TestPerfReportRoundTrip(t *testing.T) {
 	}
 }
 
-// TestLoadPerfHistoryAcceptsOldSchemas pins the v4 upgrade path: a
-// pre-existing v3 (or v2) report's history must load verbatim so the
+// TestLoadPerfHistoryAcceptsOldSchemas pins the v5 upgrade path: a
+// pre-existing v2/v3/v4 report's history must load verbatim so the
 // cross-PR trajectory — and the hash-keyed regression gate comparing its
 // last two entries — survives the schema bump.
 func TestLoadPerfHistoryAcceptsOldSchemas(t *testing.T) {
-	for _, schema := range []string{perfSchemaV2, perfSchemaV3} {
+	for _, schema := range []string{perfSchemaV2, perfSchemaV3, perfSchemaV4} {
 		old := &PerfReport{
 			Schema:      schema,
 			GeneratedAt: "2026-08-01T00:00:00Z",
@@ -90,12 +90,12 @@ func TestLoadPerfHistoryAcceptsOldSchemas(t *testing.T) {
 		if !reflect.DeepEqual(hist, old.History) {
 			t.Fatalf("%s history did not load verbatim:\n%+v\n%+v", schema, hist, old.History)
 		}
-		// The gate still compares across the bump: a v4 report appending to
-		// this history must find the v3 entry as its reference.
+		// The gate still compares across the bump: a v5 report appending to
+		// this history must find the older entry as its reference.
 		cur := &PerfReport{Schema: PerfSchema, GeneratedAt: "2026-08-08T00:00:00Z",
 			ScenarioHash: "abc123",
 			SingleCore:   SingleCorePerf{HostNsPerCycle: 170, SimMIPS: 6.4}}
-		if err := cur.AppendHistory(path, "v4 entry"); err != nil {
+		if err := cur.AppendHistory(path, "v5 entry"); err != nil {
 			t.Fatal(err)
 		}
 		if n := len(cur.History); n != 3 {

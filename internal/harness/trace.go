@@ -1,0 +1,93 @@
+package harness
+
+// Trace record/replay plumbing: the harness side of the record-once/
+// replay-many frontier. resolveTrace applies the Options trace knobs to one
+// cell's spec before it runs — loading, recording, or refusing as the knobs
+// demand — and specFrontend turns the (possibly trace-backed) spec into the
+// instruction-stream frontend both the detailed machine and the sampled
+// path fetch from.
+
+import (
+	"fmt"
+
+	"specasan/internal/core"
+	"specasan/internal/cpu"
+	"specasan/internal/trace"
+	"specasan/internal/workloads"
+)
+
+// ResolveTrace applies TraceRecord/TraceReplay to one cell. It returns the
+// spec to actually run: the original when tracing is off (or the spec is a
+// source override, which has no registry identity to key a trace under), a
+// trace-backed copy when replaying. Recording is idempotent per identity —
+// a stored recording is never re-recorded — and concurrent sweep cells that
+// race to record the same identity both write the same bytes (the store's
+// put is atomic), so the race costs a duplicate walk, never a wrong trace.
+// RunBenchmark calls this itself; it is exported for CLIs that build
+// machines by hand (specasan-sim's instrumented path).
+func ResolveTrace(spec *workloads.Spec, mit core.Mitigation, opt Options) (*workloads.Spec, error) {
+	if spec.Trace != nil || (!opt.TraceRecord && !opt.TraceReplay) || spec.Source != "" {
+		return spec, nil
+	}
+	if opt.Artifacts == nil {
+		return nil, fmt.Errorf("%s: trace record/replay requires an artifact store", spec.Name)
+	}
+	tagged := mit.MTEEnabled()
+	id := spec.TraceIdentity(tagged, opt.Scale)
+	t, ok, err := trace.Load(opt.Artifacts, id)
+	if err != nil {
+		if !trace.IsCorrupt(err) {
+			return nil, fmt.Errorf("%s: loading trace: %w", spec.Name, err)
+		}
+		// Corrupt or mislabelled entries have been quarantined (or rejected)
+		// and read as misses: re-record below if allowed, fail loudly if not.
+		opt.logf("  %-18s %-12s trace rejected, treating as miss: %v", spec.Name, mit, err)
+	}
+	if !ok {
+		if !opt.TraceRecord {
+			return nil, fmt.Errorf("%s: no recorded trace for %s (threads=%d tagged=%v scale=%g); run with trace recording enabled first",
+				spec.Name, id.Workload, id.Threads, id.Tagged, id.Scale)
+		}
+		t, err = spec.RecordTrace(tagged, opt.Scale, trace.RecordConfig{
+			MaxInsts: functionalBudget(opt.MaxCycles),
+			MTEOn:    tagged,
+			TagSeed:  cpu.TagSeedBase,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := trace.Save(opt.Artifacts, t); err != nil {
+			// Recording is a cache fill: a read-only or full store must not
+			// fail the run that produced the trace.
+			opt.logf("  %-18s %-12s trace not saved: %v", spec.Name, mit, err)
+		} else {
+			opt.logf("  %-18s %-12s trace recorded (%d insts)", spec.Name, mit, t.Meta.Insts)
+		}
+	}
+	if !opt.TraceReplay {
+		return spec, nil // record-only: the run itself still live-decodes
+	}
+	opt.logf("  %-18s %-12s replaying trace (%d insts recorded)", spec.Name, mit, t.Meta.Insts)
+	return spec.WithTrace(t), nil
+}
+
+// specFrontend resolves the cell's instruction-stream source: the recorded
+// trace's replay frontend when the spec is trace-backed, the freshly
+// assembled program otherwise. Errors carry the spec name.
+func specFrontend(spec *workloads.Spec, mit core.Mitigation, opt Options) (cpu.Frontend, error) {
+	if spec.Trace != nil {
+		if err := spec.CheckTrace(mit.MTEEnabled(), opt.Scale); err != nil {
+			return nil, err
+		}
+		fe, err := spec.Trace.Frontend()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		return fe, nil
+	}
+	prog, err := spec.Build(mit.MTEEnabled(), opt.Scale)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", spec.Name, err)
+	}
+	return cpu.AssembledFrontend{Prog: prog}, nil
+}

@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"specasan/internal/core"
+	"specasan/internal/store"
+	"specasan/internal/trace"
+	"specasan/internal/workloads"
+)
+
+func traceOpts(t *testing.T) (Options, string) {
+	t.Helper()
+	root := t.TempDir()
+	st, err := store.Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := smallOpts()
+	opt.Artifacts = st
+	return opt, root
+}
+
+// TestTraceReplayMatchesLiveCell is the cell-level contract: a replayed cell
+// must produce the same PerfResult as the live-decoded one, field for field.
+func TestTraceReplayMatchesLiveCell(t *testing.T) {
+	spec := workloads.ByName("505.mcf_r")
+	live, err := RunBenchmark(spec, core.SpecASan, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opt, _ := traceOpts(t)
+	opt.TraceRecord, opt.TraceReplay = true, true
+	replayed, err := RunBenchmark(spec, core.SpecASan, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(live, replayed) {
+		t.Fatalf("replayed cell diverges from live decode:\nlive:   %+v\nreplay: %+v", live, replayed)
+	}
+
+	// Second replay run answers from the stored trace without re-recording
+	// (TraceReplay alone errors on a miss, so success proves the hit).
+	opt.TraceRecord = false
+	again, err := RunBenchmark(spec, core.SpecASan, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(live, again) {
+		t.Fatal("stored-trace replay diverges from live decode")
+	}
+}
+
+func TestTraceReplayErrorsOnMiss(t *testing.T) {
+	opt, _ := traceOpts(t)
+	opt.TraceReplay = true
+	_, err := RunBenchmark(workloads.ByName("505.mcf_r"), core.Unsafe, opt)
+	if err == nil || !strings.Contains(err.Error(), "no recorded trace") {
+		t.Fatalf("replay-only miss: %v", err)
+	}
+}
+
+func TestTraceKnobsRequireStore(t *testing.T) {
+	opt := smallOpts()
+	opt.TraceReplay = true
+	_, err := RunBenchmark(workloads.ByName("505.mcf_r"), core.Unsafe, opt)
+	if err == nil || !strings.Contains(err.Error(), "artifact store") {
+		t.Fatalf("storeless trace run: %v", err)
+	}
+}
+
+// TestTraceSkipsSourceOverride: source-override specs have no registry
+// identity to key a trace under, so the knobs must pass them through to the
+// live path untouched rather than record a mislabelled trace.
+func TestTraceSkipsSourceOverride(t *testing.T) {
+	opt, _ := traceOpts(t)
+	opt.TraceRecord, opt.TraceReplay = true, true
+	spec := &workloads.Spec{
+		Name:    "override",
+		Threads: 1,
+		Source:  "MOV X0, #0\nSVC #0",
+	}
+	got, err := ResolveTrace(spec, core.Unsafe, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != spec || got.Trace != nil {
+		t.Fatal("source override was not passed through")
+	}
+}
+
+// TestTraceCorruptEntryReRecords: a corrupted stored trace reads as a miss
+// (quarantined by the store), and a record-enabled run heals it in place.
+func TestTraceCorruptEntryReRecords(t *testing.T) {
+	spec := workloads.ByName("505.mcf_r")
+	opt, root := traceOpts(t)
+	opt.TraceRecord, opt.TraceReplay = true, true
+	first, err := RunBenchmark(spec, core.Unsafe, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	id := spec.TraceIdentity(core.Unsafe.MTEEnabled(), opt.Scale)
+	key := id.StoreKey()
+	path := filepath.Join(root, key.Space, key.Name+".entry")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-3] ^= 0x10
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	healed, err := RunBenchmark(spec, core.Unsafe, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, healed) {
+		t.Fatal("re-recorded run diverges from the original")
+	}
+	// The re-record wrote a fresh, loadable trace back into the slot.
+	if _, ok, err := trace.Load(opt.Artifacts, id); !ok || err != nil {
+		t.Fatalf("slot not healed: ok=%v err=%v", ok, err)
+	}
+	// Replay-only still works against the healed entry.
+	opt.TraceRecord = false
+	if _, err := RunBenchmark(spec, core.Unsafe, opt); err != nil {
+		t.Fatal(err)
+	}
+}

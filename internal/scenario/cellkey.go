@@ -46,6 +46,11 @@ func (s *Scenario) ResultHash() string {
 	c.Run.ParallelCores = 0
 	c.Run.RetryBudgetFactor = 0
 	c.Run.MaxRetries = 0
+	// Trace record/replay: result-neutral by contract (replay is
+	// bit-identical to live decode — pinned by the replay fingerprint
+	// tests — and recording only produces a side-band artifact).
+	c.Run.TraceRecord = false
+	c.Run.TraceReplay = false
 	if c.Chaos != nil {
 		cc := *c.Chaos
 		// Seed0/Seeds/Kinds enumerate chaos cells (cell-key coordinates);

@@ -76,6 +76,15 @@ type Config struct {
 	// still terminates on its own cycle budget, and if it completes it may
 	// still heal the store). Default 5 minutes.
 	CellTimeout time.Duration
+	// TraceRecord and TraceReplay are server-wide trace knobs, OR-ed with
+	// each submitted scenario's run.trace_record/run.trace_replay: record
+	// missing workload traces into the store, and fetch through recorded
+	// traces instead of assembling. Either requires StoreDir (traces live in
+	// the artifact store); replay is bit-identical to live decode, so result
+	// documents do not change. Perf jobs only — chaos scenarios reject the
+	// knobs at validation.
+	TraceRecord bool
+	TraceReplay bool
 	// Log receives one line per service event (default: discard).
 	Log io.Writer
 }
@@ -175,6 +184,9 @@ type task struct {
 // rather than failing — the service's job is to keep simulating.
 func New(cfg Config) (*Server, error) {
 	cfg.fillDefaults()
+	if (cfg.TraceRecord || cfg.TraceReplay) && cfg.StoreDir == "" {
+		return nil, fmt.Errorf("serve: trace record/replay needs a store directory (traces live in the artifact store)")
+	}
 	s := &Server{
 		cfg:  cfg,
 		jobs: make(map[string]*job),
@@ -330,8 +342,13 @@ func (s *Server) buildJob(scn *scenario.Scenario) (*job, error) {
 		return nil, fmt.Errorf("scenario %q expands to no cells", scn.Name)
 	}
 	opt := harness.OptionsFromScenario(scn)
+	opt.TraceRecord = opt.TraceRecord || s.cfg.TraceRecord
+	opt.TraceReplay = opt.TraceReplay || s.cfg.TraceReplay
 	if s.store != nil {
 		opt.Store = harness.DiskCellStore{S: s.store}
+		opt.Artifacts = s.store
+	} else if opt.TraceRecord || opt.TraceReplay {
+		return nil, fmt.Errorf("scenario %q requests trace record/replay but the server runs storeless (start with a store directory)", scn.Name)
 	}
 	j.cells = make([]CellOutcome, 0, len(specs)*len(mits))
 	for _, spec := range specs {
@@ -460,14 +477,19 @@ func (j *job) result() *ResultDoc {
 	}
 }
 
-// cacheSummary counts cached/failed cells (for headers and job status).
-func (j *job) cacheSummary() (cached, failed int) {
+// cacheSummary counts cached/failed/uncacheable cells (for headers and job
+// status). uncached counts cells that simulated but could not be cached —
+// their CellResult carries a Note explaining why (e.g. a source override).
+func (j *job) cacheSummary() (cached, failed, uncached int) {
 	for _, c := range j.cells {
 		if c.cached {
 			cached++
 		}
 		if c.Error != "" {
 			failed++
+		}
+		if c.Perf != nil && c.Perf.Note != "" {
+			uncached++
 		}
 	}
 	return
@@ -511,8 +533,9 @@ func (s *Server) Handler() http.Handler {
 
 // handleSweep admits a scenario document. With ?wait=1 the response is the
 // finished job's deterministic result document (byte-identical across
-// resubmissions; job id and cache counts travel in X-Job-Id / X-Cache-Hits
-// headers). Without it, 202 with the job id for later polling.
+// resubmissions; job id and cache counts travel in X-Job-Id / X-Cache-Hits /
+// X-Uncached-Cells headers). Without it, 202 with the job id for later
+// polling.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, &HTTPError{Status: http.StatusMethodNotAllowed, Msg: "POST a scenario document"})
@@ -540,12 +563,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		// Client went away; the job keeps running and stays pollable.
 		return
 	}
-	cached, failed := j.cacheSummary()
+	cached, failed, uncached := j.cacheSummary()
 	w.Header().Set("X-Job-Id", j.id)
 	w.Header().Set("X-Cache-Hits", fmt.Sprintf("%d/%d", cached, len(j.cells)))
 	status := http.StatusOK
 	if failed > 0 {
 		w.Header().Set("X-Failed-Cells", fmt.Sprintf("%d", failed))
+	}
+	if uncached > 0 {
+		// Cells that simulated but could not be cached (each carries a
+		// per-cell note in its result, e.g. "uncached: source override").
+		w.Header().Set("X-Uncached-Cells", fmt.Sprintf("%d", uncached))
 	}
 	writeJSON(w, status, j.result())
 }
@@ -566,7 +594,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 	select {
 	case <-j.done:
-		cached, failed := j.cacheSummary()
+		cached, failed, _ := j.cacheSummary()
 		writeJSON(w, http.StatusOK, map[string]interface{}{
 			"id": j.id, "state": "done",
 			"cached_cells": cached, "failed_cells": failed,

@@ -1,0 +1,448 @@
+package trace
+
+// The on-disk trace format: a magic+version header, four length-framed
+// sections each carrying its own SHA-256, and a whole-file SHA-256 trailer.
+//
+//	offset  contents
+//	0       magic "SATRACE" + one version byte (Version)
+//	8       section 1: meta    — tag, u64 payload length, JSON payload, sha256
+//	...     section 2: code    — decoded instructions, compact binary
+//	...     section 3: data    — data blocks, raw bytes
+//	...     section 4: dynamic — output + touch stream, delta/varint coded
+//	end-32  sha256 over every preceding byte
+//
+// Sections appear in exactly this order. Per-section checksums localise a
+// flip to the section it corrupted; the trailer catches truncation after a
+// complete section and any tampering with the framing itself. Integers are
+// little-endian; instruction immediates and touch address deltas are
+// zigzag varints, which keeps real traces a few bytes per instruction.
+//
+// Every decode failure maps onto one of the structured sentinel errors
+// below, so callers (and the robustness tests) can tell a truncated file
+// from a bit-flipped one from a mislabelled one with errors.Is.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"specasan/internal/asm"
+	"specasan/internal/isa"
+)
+
+// Version is the trace format version this package reads and writes. Bump
+// it when any section layout changes; older files then fail with ErrVersion
+// and are re-recorded.
+const Version = 1
+
+// magic opens every trace file; the eighth byte is the format version.
+var magic = [8]byte{'S', 'A', 'T', 'R', 'A', 'C', 'E', Version}
+
+// Structured decode errors. Decode and ReadFile wrap these sentinels, so
+// errors.Is distinguishes the failure classes.
+var (
+	// ErrFormat marks a file that is not a trace, or whose framing or
+	// section contents are malformed.
+	ErrFormat = errors.New("trace: malformed")
+	// ErrVersion marks a trace written by an incompatible format version.
+	ErrVersion = errors.New("trace: unsupported format version")
+	// ErrTruncated marks a file that ends before its framing says it may.
+	ErrTruncated = errors.New("trace: truncated")
+	// ErrChecksum marks a section or file whose bytes do not match their
+	// recorded SHA-256 — a bit flip somewhere between write and read.
+	ErrChecksum = errors.New("trace: checksum mismatch")
+	// ErrMislabelled marks a trace whose recorded identity does not match
+	// the identity it was looked up under.
+	ErrMislabelled = errors.New("trace: workload identity mismatch")
+)
+
+// Section tags, in required file order.
+const (
+	secMeta    = 1
+	secCode    = 2
+	secData    = 3
+	secDynamic = 4
+)
+
+const sumLen = sha256.Size
+
+// zigzag folds signed integers into unsigned varint-friendly form.
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Encode serialises the trace.
+func (t *Trace) Encode() ([]byte, error) {
+	metaPayload, err := json.Marshal(&t.Meta)
+	if err != nil {
+		return nil, fmt.Errorf("trace: encode meta: %w", err)
+	}
+	var buf []byte
+	buf = append(buf, magic[:]...)
+	buf = appendSection(buf, secMeta, metaPayload)
+	buf = appendSection(buf, secCode, encodeCode(t.Code))
+	buf = appendSection(buf, secData, encodeData(t.Data))
+	buf = appendSection(buf, secDynamic, encodeDynamic(t.Output, t.Touches))
+	sum := sha256.Sum256(buf)
+	return append(buf, sum[:]...), nil
+}
+
+func appendSection(buf []byte, tag byte, payload []byte) []byte {
+	buf = append(buf, tag)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	sum := sha256.Sum256(payload)
+	return append(buf, sum[:]...)
+}
+
+// Decode parses a serialised trace, verifying the whole-file trailer and
+// every section checksum.
+func Decode(b []byte) (*Trace, error) {
+	if len(b) < len(magic)+sumLen {
+		return nil, fmt.Errorf("%w: %d bytes is smaller than any trace", ErrTruncated, len(b))
+	}
+	if !bytes.Equal(b[:7], magic[:7]) {
+		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
+	}
+	if b[7] != Version {
+		return nil, fmt.Errorf("%w: file version %d, this build reads %d", ErrVersion, b[7], Version)
+	}
+	body, trailer := b[:len(b)-sumLen], b[len(b)-sumLen:]
+	sum := sha256.Sum256(body)
+	if !bytes.Equal(sum[:], trailer) {
+		return nil, fmt.Errorf("%w: file trailer", ErrChecksum)
+	}
+
+	t := &Trace{}
+	rest := body[len(magic):]
+	for _, want := range []struct {
+		tag   byte
+		parse func(*Trace, []byte) error
+	}{
+		{secMeta, parseMeta},
+		{secCode, parseCode},
+		{secData, parseData},
+		{secDynamic, parseDynamic},
+	} {
+		payload, rem, err := readSection(rest, want.tag)
+		if err != nil {
+			return nil, err
+		}
+		if err := want.parse(t, payload); err != nil {
+			return nil, err
+		}
+		rest = rem
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after last section", ErrFormat, len(rest))
+	}
+	return t, nil
+}
+
+func readSection(b []byte, wantTag byte) (payload, rest []byte, err error) {
+	if len(b) < 1+8 {
+		return nil, nil, fmt.Errorf("%w: section %d header", ErrTruncated, wantTag)
+	}
+	if b[0] != wantTag {
+		return nil, nil, fmt.Errorf("%w: section tag %d where %d expected", ErrFormat, b[0], wantTag)
+	}
+	n := binary.LittleEndian.Uint64(b[1:9])
+	b = b[9:]
+	if uint64(len(b)) < n+sumLen {
+		return nil, nil, fmt.Errorf("%w: section %d payload (%d of %d bytes)", ErrTruncated, wantTag, len(b), n+sumLen)
+	}
+	payload, sumBytes, rest := b[:n], b[n:n+sumLen], b[n+sumLen:]
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], sumBytes) {
+		return nil, nil, fmt.Errorf("%w: section %d", ErrChecksum, wantTag)
+	}
+	return payload, rest, nil
+}
+
+func parseMeta(t *Trace, payload []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t.Meta); err != nil {
+		return fmt.Errorf("%w: meta: %v", ErrFormat, err)
+	}
+	return nil
+}
+
+// ------------------------------------------------------------------ code --
+
+// instFlagHasImm is the only Inst flag bit today; further bits are reserved
+// and must decode as zero under the current version.
+const instFlagHasImm = 1 << 0
+
+func encodeCode(blocks []asm.CodeBlock) []byte {
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(blocks)))
+	for _, b := range blocks {
+		buf = binary.LittleEndian.AppendUint64(buf, b.Addr)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b.Insts)))
+		for i := range b.Insts {
+			in := &b.Insts[i]
+			var flags byte
+			if in.HasImm {
+				flags |= instFlagHasImm
+			}
+			buf = append(buf, byte(in.Op), byte(in.Cond), byte(in.Rd), byte(in.Rn), byte(in.Rm), flags)
+			buf = binary.AppendUvarint(buf, zigzag(in.Imm))
+			buf = binary.AppendUvarint(buf, zigzag(in.Imm2))
+		}
+	}
+	return buf
+}
+
+func parseCode(t *Trace, payload []byte) error {
+	r := &reader{b: payload, sec: "code"}
+	nb := r.u32()
+	// Cap sanity: a count that cannot fit in the remaining payload is
+	// framing corruption, not an allocation request.
+	if uint64(nb) > uint64(len(payload)) {
+		return fmt.Errorf("%w: code: block count %d exceeds payload", ErrFormat, nb)
+	}
+	blocks := make([]asm.CodeBlock, 0, nb)
+	for i := uint32(0); i < nb; i++ {
+		addr := r.u64()
+		n := r.u32()
+		if uint64(n)*6 > uint64(len(payload)) {
+			return fmt.Errorf("%w: code: instruction count %d exceeds payload", ErrFormat, n)
+		}
+		insts := make([]isa.Inst, n)
+		for j := uint32(0); j < n; j++ {
+			var fixed [6]byte
+			r.bytes(fixed[:])
+			if fixed[5]&^instFlagHasImm != 0 {
+				return fmt.Errorf("%w: code: reserved inst flag bits %#x", ErrFormat, fixed[5])
+			}
+			in := &insts[j]
+			in.Op = isa.Op(fixed[0])
+			in.Cond = isa.Cond(fixed[1])
+			in.Rd = isa.Reg(fixed[2])
+			in.Rn = isa.Reg(fixed[3])
+			in.Rm = isa.Reg(fixed[4])
+			in.HasImm = fixed[5]&instFlagHasImm != 0
+			in.Imm = unzigzag(r.uvarint())
+			in.Imm2 = unzigzag(r.uvarint())
+			if in.Op >= isa.NumOps {
+				return fmt.Errorf("%w: code: op %d out of range", ErrFormat, in.Op)
+			}
+		}
+		blocks = append(blocks, asm.CodeBlock{Addr: addr, Insts: insts})
+	}
+	if err := r.done(); err != nil {
+		return err
+	}
+	t.Code = blocks
+	return nil
+}
+
+// ------------------------------------------------------------------ data --
+
+func encodeData(blocks []asm.DataBlock) []byte {
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(blocks)))
+	for _, b := range blocks {
+		buf = binary.LittleEndian.AppendUint64(buf, b.Addr)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(len(b.Bytes)))
+		buf = append(buf, b.Bytes...)
+	}
+	return buf
+}
+
+func parseData(t *Trace, payload []byte) error {
+	r := &reader{b: payload, sec: "data"}
+	nb := r.u32()
+	if uint64(nb) > uint64(len(payload)) {
+		return fmt.Errorf("%w: data: block count %d exceeds payload", ErrFormat, nb)
+	}
+	blocks := make([]asm.DataBlock, 0, nb)
+	for i := uint32(0); i < nb; i++ {
+		addr := r.u64()
+		n := r.u64()
+		if n > uint64(len(payload)) {
+			return fmt.Errorf("%w: data: block length %d exceeds payload", ErrFormat, n)
+		}
+		bts := make([]byte, n)
+		r.bytes(bts)
+		blocks = append(blocks, asm.DataBlock{Addr: addr, Bytes: bts})
+	}
+	if err := r.done(); err != nil {
+		return err
+	}
+	t.Data = blocks
+	return nil
+}
+
+// --------------------------------------------------------------- dynamic --
+
+// Touch flag bits in the dynamic section.
+const (
+	touchFlagWrite  = 1 << 0
+	touchFlagIfetch = 1 << 1
+)
+
+func encodeDynamic(output []byte, touches []Touch) []byte {
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(output)))
+	buf = append(buf, output...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(touches)))
+	var prev uint64
+	for _, tc := range touches {
+		var flags byte
+		if tc.Write {
+			flags |= touchFlagWrite
+		}
+		if tc.IFetch {
+			flags |= touchFlagIfetch
+		}
+		buf = append(buf, flags)
+		buf = binary.AppendUvarint(buf, zigzag(int64(tc.Addr-prev)))
+		prev = tc.Addr
+	}
+	return buf
+}
+
+func parseDynamic(t *Trace, payload []byte) error {
+	r := &reader{b: payload, sec: "dynamic"}
+	on := r.u64()
+	if on > uint64(len(payload)) {
+		return fmt.Errorf("%w: dynamic: output length %d exceeds payload", ErrFormat, on)
+	}
+	out := make([]byte, on)
+	r.bytes(out)
+	nt := r.u64()
+	if nt > uint64(len(payload)) {
+		return fmt.Errorf("%w: dynamic: touch count %d exceeds payload", ErrFormat, nt)
+	}
+	touches := make([]Touch, 0, nt)
+	var prev uint64
+	for i := uint64(0); i < nt; i++ {
+		flags := r.u8()
+		if flags&^(touchFlagWrite|touchFlagIfetch) != 0 {
+			return fmt.Errorf("%w: dynamic: reserved touch flag bits %#x", ErrFormat, flags)
+		}
+		addr := prev + uint64(unzigzag(r.uvarint()))
+		prev = addr
+		touches = append(touches, Touch{
+			Addr:   addr,
+			Write:  flags&touchFlagWrite != 0,
+			IFetch: flags&touchFlagIfetch != 0,
+		})
+	}
+	if err := r.done(); err != nil {
+		return err
+	}
+	if len(out) > 0 {
+		t.Output = out
+	}
+	if len(touches) > 0 {
+		t.Touches = touches
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------- reader --
+
+// reader is a bounds-tracking cursor over one section payload. Running off
+// the end or leaving bytes behind sets err; every read after an error is a
+// no-op returning zero, so parse loops stay straight-line and report once.
+type reader struct {
+	b   []byte
+	sec string
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s section ends mid-record", ErrTruncated, r.sec)
+	}
+}
+
+func (r *reader) u8() byte {
+	if r.err != nil || len(r.b) < 1 {
+		r.fail()
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || len(r.b) < 4 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || len(r.b) < 8 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *reader) bytes(dst []byte) {
+	if r.err != nil || len(r.b) < len(dst) {
+		r.fail()
+		return
+	}
+	copy(dst, r.b)
+	r.b = r.b[len(dst):]
+}
+
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("%w: %s section has %d trailing bytes", ErrFormat, r.sec, len(r.b))
+	}
+	return nil
+}
+
+// WriteFile serialises the trace to path (0644).
+func (t *Trace) WriteFile(path string) error {
+	b, err := t.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// ReadFile loads and verifies a trace file.
+func ReadFile(path string) (*Trace, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	t, err := Decode(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}

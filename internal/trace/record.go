@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"fmt"
+
+	"specasan/internal/asm"
+	"specasan/internal/golden"
+	"specasan/internal/isa"
+)
+
+// DefaultTouchCap matches the harness's transplant-warming window: the
+// recorder keeps this many most-recent touches unless told otherwise.
+const DefaultTouchCap = 1 << 15
+
+// DefaultMaxInsts bounds the recording walk; at golden-interpreter speed it
+// is far past any workload the harness runs, so hitting it means a runaway
+// program, which Record reports rather than records.
+const DefaultMaxInsts = uint64(1) << 34
+
+// RecordConfig steers one recording walk.
+type RecordConfig struct {
+	// MaxInsts bounds the functional walk (DefaultMaxInsts when zero).
+	MaxInsts uint64
+	// MTEOn enables committed tag checks, and must match how the workload
+	// will be simulated (Identity.Tagged says how it was built).
+	MTEOn bool
+	// TagSeed is the IRG determinism seed; use cpu.TagSeedBase so recorded
+	// tag state matches what a live machine's core 0 computes.
+	TagSeed uint64
+	// TouchCap is the touch ring size (DefaultTouchCap when zero).
+	TouchCap int
+}
+
+// Record runs prog once on the golden interpreter and captures the result
+// as a trace: static code/data/labels copied from the program, the walk's
+// output, stop state, and most recent memory touches. id labels the trace;
+// its fields are the caller's claim about how prog was built and become the
+// store key and the mislabel check on load.
+//
+// A walk that dies on a bad PC or exhausts MaxInsts is an error — a trace
+// of a walk that never finished would replay as a different workload. A
+// committed tag fault is recorded (Meta.Stop says so): tagged workloads
+// under test may fault by design.
+func Record(prog *asm.Program, id Identity, cfg RecordConfig) (*Trace, error) {
+	maxInsts := cfg.MaxInsts
+	if maxInsts == 0 {
+		maxInsts = DefaultMaxInsts
+	}
+	touchCap := cfg.TouchCap
+	if touchCap == 0 {
+		touchCap = DefaultTouchCap
+	}
+	ip := golden.New(prog)
+	ip.MTEOn = cfg.MTEOn
+	ip.TagSeed = cfg.TagSeed
+	ring := golden.NewTouchRing(touchCap)
+	ip.Touch = ring
+	res := ip.Run(maxInsts)
+	switch res.Reason {
+	case golden.StopBadPC:
+		return nil, fmt.Errorf("trace: record %s: walk ran off code at %#x after %d insts",
+			id.Workload, res.PC, res.Insts)
+	case golden.StopMaxInsts:
+		return nil, fmt.Errorf("trace: record %s: walk did not finish in %d insts",
+			id.Workload, maxInsts)
+	}
+
+	t := &Trace{
+		Meta: Meta{
+			Identity: id,
+			Entry:    prog.Entry,
+			Insts:    res.Insts,
+			Stop:     res.Reason.String(),
+			ExitCode: res.ExitCode,
+		},
+	}
+	if len(res.Output) > 0 {
+		t.Output = append([]byte(nil), res.Output...)
+		t.Meta.OutputSHA = SHA256Hex(t.Output)
+	}
+	if len(prog.Labels) > 0 {
+		t.Meta.Labels = make(map[string]uint64, len(prog.Labels))
+		for k, v := range prog.Labels {
+			t.Meta.Labels[k] = v
+		}
+	}
+	t.Code = make([]asm.CodeBlock, len(prog.Code))
+	for i, b := range prog.Code {
+		insts := make([]isa.Inst, len(b.Insts))
+		copy(insts, b.Insts)
+		t.Code[i] = asm.CodeBlock{Addr: b.Addr, Insts: insts}
+	}
+	t.Data = make([]asm.DataBlock, len(prog.Data))
+	for i, b := range prog.Data {
+		t.Data[i] = asm.DataBlock{Addr: b.Addr, Bytes: append([]byte(nil), b.Bytes...)}
+	}
+	t.Touches = make([]Touch, 0, ring.Len())
+	ring.Each(func(addr uint64, write, ifetch bool) {
+		t.Touches = append(t.Touches, Touch{Addr: addr, Write: write, IFetch: ifetch})
+	})
+	return t, nil
+}

@@ -1,0 +1,110 @@
+package trace
+
+// Store integration: traces are content-addressed artifacts in the same
+// crash-safe store that holds sweep cell results, under their own key
+// space. The key is derived from the workload identity plus the format
+// version — machine configuration and mitigation deliberately excluded, so
+// one recording serves every scenario that runs the same workload build —
+// and a format bump orphans old entries into re-recording instead of
+// misreading them.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"specasan/internal/store"
+)
+
+// StoreSpace is the store key space trace artifacts live under. It is a
+// fixed word, unlike cell results' result-hash spaces: a trace's validity
+// does not depend on run semantics, only on the workload build identity
+// baked into the key name.
+const StoreSpace = "traces"
+
+// StoreKey returns the store key for a trace with this identity. The name
+// is a readable sanitized slug plus a 16-hex digest of the canonical
+// identity (SourceSHA excluded — the point of replay is keying without
+// generating source) and format version, mirroring scenario.CellKey's
+// slug+digest shape.
+func (id Identity) StoreKey() store.Key {
+	canon := struct {
+		Workload string  `json:"workload"`
+		Threads  int     `json:"threads"`
+		Tagged   bool    `json:"tagged"`
+		Scale    float64 `json:"scale"`
+		Version  int     `json:"version"`
+	}{id.Workload, id.Threads, id.Tagged, id.Scale, Version}
+	b, err := json.Marshal(&canon)
+	if err != nil {
+		// Marshalling a struct of scalars cannot fail; keep the signature
+		// ergonomic for callers.
+		panic(fmt.Sprintf("trace: identity marshal: %v", err))
+	}
+	return store.Key{Space: StoreSpace, Name: sanitize(id.Workload) + "-" + SHA256Hex(b)[:16]}
+}
+
+// sanitize maps a workload name onto the store's key alphabet, exactly as
+// scenario cell keys are sanitized (this package cannot import scenario:
+// workloads imports trace and scenario imports workloads).
+func sanitize(raw string) string {
+	const maxLen = 100
+	out := make([]byte, 0, len(raw))
+	for i := 0; i < len(raw) && len(out) < maxLen; i++ {
+		c := raw[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 || out[0] == '.' || out[0] == '-' {
+		out = append([]byte{'t'}, out...)
+	}
+	return string(out)
+}
+
+// Save writes the trace into the store under its identity key.
+func Save(s *store.Store, t *Trace) error {
+	b, err := t.Encode()
+	if err != nil {
+		return err
+	}
+	return s.Put(t.Meta.StoreKey(), b)
+}
+
+// Load fetches and decodes the trace recorded under id. A plain miss is
+// (nil, false, nil). A stored entry that fails the store's own verification
+// has already been quarantined by the store; it reports as a miss with the
+// store's error. An entry that decodes but carries a different identity is
+// rejected with ErrMislabelled — the caller must re-record, not replay a
+// stranger's stream.
+func Load(s *store.Store, id Identity) (*Trace, bool, error) {
+	key := id.StoreKey()
+	b, ok, err := s.Get(key)
+	if !ok {
+		return nil, false, err
+	}
+	t, err := Decode(b)
+	if err != nil {
+		return nil, false, fmt.Errorf("%s: %w", key, err)
+	}
+	if got, want := t.Meta.Identity, id; !got.Same(want) {
+		return nil, false, fmt.Errorf("%w: %s holds %s (threads=%d tagged=%v scale=%g), looked up as %s (threads=%d tagged=%v scale=%g)",
+			ErrMislabelled, key,
+			got.Workload, got.Threads, got.Tagged, got.Scale,
+			want.Workload, want.Threads, want.Tagged, want.Scale)
+	}
+	return t, true, nil
+}
+
+// IsCorrupt reports whether err is a store- or trace-level integrity
+// failure (as opposed to a miss or an I/O error): the caller should
+// re-record and may log the quarantine.
+func IsCorrupt(err error) bool {
+	return errors.Is(err, store.ErrCorrupt) || errors.Is(err, ErrChecksum) ||
+		errors.Is(err, ErrTruncated) || errors.Is(err, ErrFormat) ||
+		errors.Is(err, ErrVersion) || errors.Is(err, ErrMislabelled)
+}

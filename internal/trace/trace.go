@@ -1,0 +1,241 @@
+// Package trace records and replays workload instruction streams: the
+// artifact behind the record-once/replay-many frontier. A trace is produced
+// by one functional walk on the golden interpreter and carries everything a
+// simulator frontend needs to reproduce the live-decode run bit for bit:
+//
+//   - the static sections — code blocks (decoded instructions), data blocks,
+//     labels, and the entry PC — reconstruct the assembled program exactly.
+//     Static code is mandatory for exactness: the out-of-order machine
+//     speculatively fetches down wrong paths the committed dynamic stream
+//     never visits, so a purely dynamic trace could not feed its front end.
+//   - the dynamic sections — the functional walk's retirement count, stop
+//     reason, program output, and its most recent memory/tag touches —
+//     validate a replay against the recording and warm caches after a
+//     fast-forward transplant, exactly as live sampled runs do.
+//
+// Traces serialise to a versioned, compact, checksummed binary format
+// (format.go) and live as content-addressed artifacts in internal/store
+// under the "traces" space, keyed by workload identity (store.go), so one
+// recording serves every sim, bench, serve, and sampled run of the same
+// workload build.
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"specasan/internal/asm"
+	"specasan/internal/golden"
+	"specasan/internal/isa"
+	"specasan/internal/mem"
+)
+
+// Identity pins which workload build a trace replays: the same fields that
+// select a generator recipe, plus the flags that change its emitted code.
+// Two builds with equal identities produce byte-identical programs (the
+// generators are deterministic), which is what makes the store key sound.
+type Identity struct {
+	// Workload is the registry name (e.g. "505.mcf_r") or a caller-chosen
+	// label for file workloads.
+	Workload string `json:"workload"`
+	// Threads is the SPMD thread count the program was generated for.
+	Threads int `json:"threads"`
+	// Tagged reports whether the build included MTE tag setup (it differs
+	// per mitigation: MTE-backed policies build tagged programs).
+	Tagged bool `json:"tagged"`
+	// Scale is the workload scale factor the build used.
+	Scale float64 `json:"scale"`
+	// SourceSHA is the sha256 of the assembly text the trace was recorded
+	// from. It is advisory — not part of the store key, so replay can skip
+	// source generation — but lets a caller who has the source detect
+	// generator drift instead of replaying stale code.
+	SourceSHA string `json:"source_sha,omitempty"`
+}
+
+// Same reports whether two identities name the same workload build.
+// SourceSHA is advisory provenance and excluded — it is absent from the
+// store key for the same reason (replay must not need the source).
+func (id Identity) Same(other Identity) bool {
+	return id.Workload == other.Workload && id.Threads == other.Threads &&
+		id.Tagged == other.Tagged && id.Scale == other.Scale
+}
+
+// Meta is a trace's self-description: its identity plus what the recording
+// functional walk observed. It rides in the trace file's first section and
+// is the mislabel check on load.
+type Meta struct {
+	Identity
+	// Entry is the architectural start address.
+	Entry uint64 `json:"entry"`
+	// Insts is how many instructions the recording walk retired.
+	Insts uint64 `json:"insts"`
+	// Stop is the recording walk's stop reason (golden.StopReason string).
+	Stop string `json:"stop"`
+	// ExitCode is X0 at exit when Stop is "exit".
+	ExitCode uint64 `json:"exit_code,omitempty"`
+	// OutputSHA is the sha256 of the recorded program output; replays
+	// validate against it without storing the output twice.
+	OutputSHA string `json:"output_sha,omitempty"`
+	// Labels preserves the program's label map for diagnostics and
+	// label-addressed tooling.
+	Labels map[string]uint64 `json:"labels,omitempty"`
+}
+
+// Touch is one recorded memory touch of the functional walk: a load, store,
+// or basic-block instruction fetch, key-stripped and 4-byte aligned (the
+// golden.TouchRing encoding).
+type Touch struct {
+	Addr   uint64
+	Write  bool
+	IFetch bool
+}
+
+// Trace is one recorded workload stream in memory.
+type Trace struct {
+	Meta Meta
+	// Code and Data are deep copies of the recorded program's static
+	// sections; reconstructing a Program from them is exact.
+	Code []asm.CodeBlock
+	Data []asm.DataBlock
+	// Output is the program output the recording walk produced.
+	Output []byte
+	// Touches are the walk's most recent memory touches, oldest first —
+	// the cache-warming stream for post-transplant sampled replay.
+	Touches []Touch
+}
+
+// Program reconstructs the assembled program the trace was recorded from:
+// code, data, labels and entry are exact copies, and every instruction is
+// re-Decoded the way asm.Assemble decodes after fixup, so the pipeline sees
+// identical operand caches. The returned program shares no storage with the
+// trace.
+func (t *Trace) Program() *asm.Program {
+	p := &asm.Program{Entry: t.Meta.Entry}
+	p.Code = make([]asm.CodeBlock, len(t.Code))
+	for i, b := range t.Code {
+		insts := make([]isa.Inst, len(b.Insts))
+		copy(insts, b.Insts)
+		for j := range insts {
+			insts[j].Decode()
+		}
+		p.Code[i] = asm.CodeBlock{Addr: b.Addr, Insts: insts}
+	}
+	p.Data = make([]asm.DataBlock, len(t.Data))
+	for i, b := range t.Data {
+		p.Data[i] = asm.DataBlock{Addr: b.Addr, Bytes: append([]byte(nil), b.Bytes...)}
+	}
+	if len(t.Meta.Labels) > 0 {
+		p.Labels = make(map[string]uint64, len(t.Meta.Labels))
+		for k, v := range t.Meta.Labels {
+			p.Labels[k] = v
+		}
+	}
+	return p
+}
+
+// WarmRing rebuilds the recorded touch stream as a golden.TouchRing sized to
+// its contents, ready for cpu.Machine.WarmCaches. Returns nil when the trace
+// recorded no touches.
+func (t *Trace) WarmRing() *golden.TouchRing {
+	if len(t.Touches) == 0 {
+		return nil
+	}
+	r := golden.NewTouchRing(len(t.Touches))
+	for _, tc := range t.Touches {
+		r.Add(tc.Addr, tc.Write, tc.IFetch)
+	}
+	return r
+}
+
+// TraceFrontend replays a recorded trace as a machine instruction stream. It
+// satisfies both cpu.Frontend and golden.Source structurally, so one loaded
+// trace drives the cycle-accurate machine, the functional interpreter, and
+// the transplant seam. Lookup is a binary search over the (sorted) code
+// blocks plus an index within the block — O(log blocks) per fetch, no
+// per-call allocation, safe for concurrent readers.
+type TraceFrontend struct {
+	trace *Trace
+	prog  *asm.Program
+	// starts/ends frame each code block's address range, ascending.
+	starts []uint64
+	ends   []uint64
+	blocks [][]isa.Inst
+}
+
+// Frontend builds the replay frontend for the trace. It fails on overlapping
+// or unsorted-unfixable code blocks (a malformed trace that Decode's framing
+// checks cannot see).
+func (t *Trace) Frontend() (*TraceFrontend, error) {
+	p := t.Program()
+	f := &TraceFrontend{
+		trace:  t,
+		prog:   p,
+		starts: make([]uint64, len(p.Code)),
+		ends:   make([]uint64, len(p.Code)),
+		blocks: make([][]isa.Inst, len(p.Code)),
+	}
+	order := make([]int, len(p.Code))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return p.Code[order[a]].Addr < p.Code[order[b]].Addr })
+	for i, idx := range order {
+		b := &p.Code[idx]
+		f.starts[i] = b.Addr
+		f.ends[i] = b.Addr + uint64(len(b.Insts))*isa.InstBytes
+		f.blocks[i] = b.Insts
+		if i > 0 && f.starts[i] < f.ends[i-1] {
+			return nil, fmt.Errorf("%w: code blocks overlap at %#x", ErrFormat, f.starts[i])
+		}
+	}
+	return f, nil
+}
+
+// Trace returns the trace the frontend replays.
+func (f *TraceFrontend) Trace() *Trace { return f.trace }
+
+// Program returns the reconstructed program backing the frontend.
+func (f *TraceFrontend) Program() *asm.Program { return f.prog }
+
+// EntryPC implements the frontend contract.
+func (f *TraceFrontend) EntryPC() uint64 { return f.prog.Entry }
+
+// block returns the index of the code block containing pc, or -1.
+func (f *TraceFrontend) block(pc uint64) int {
+	i := sort.Search(len(f.starts), func(i int) bool { return f.ends[i] > pc })
+	if i == len(f.starts) || pc < f.starts[i] || (pc-f.starts[i])%isa.InstBytes != 0 {
+		return -1
+	}
+	return i
+}
+
+// InstAt implements the frontend contract.
+func (f *TraceFrontend) InstAt(pc uint64) *isa.Inst {
+	i := f.block(pc)
+	if i < 0 {
+		return nil
+	}
+	return &f.blocks[i][(pc-f.starts[i])/isa.InstBytes]
+}
+
+// InstsFrom implements the frontend contract.
+func (f *TraceFrontend) InstsFrom(pc uint64) []isa.Inst {
+	i := f.block(pc)
+	if i < 0 {
+		return nil
+	}
+	return f.blocks[i][(pc-f.starts[i])/isa.InstBytes:]
+}
+
+// InitImage implements the frontend contract: the trace's data blocks load
+// exactly as mem.Image.LoadProgram loads an assembled program's.
+func (f *TraceFrontend) InitImage(img *mem.Image) { img.LoadProgram(f.prog) }
+
+// SHA256Hex is the hashing helper identity and meta fields use; exposed so
+// callers labelling traces (source text, output) hash the same way.
+func SHA256Hex(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

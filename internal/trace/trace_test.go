@@ -1,0 +1,326 @@
+package trace
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"specasan/internal/asm"
+	"specasan/internal/golden"
+	"specasan/internal/store"
+)
+
+// testKernel exercises every section of the format: tagged heap setup (IRG/
+// STG), loads and stores (touch stream), program output (SVC #2), a data
+// block, labels, and a clean exit code.
+const testKernel = `
+_start:
+    MOV  X10, #0x3000
+    IRG  X10, X10
+    MOV  X3, #0
+tag:
+    ADD  X4, X10, X3
+    STG  X4, [X4]
+    ADD  X3, X3, #16
+    CMP  X3, #256
+    B.LT tag
+    MOV  X2, #0
+loop:
+    ADD  X4, X10, X2
+    STR  X2, [X4]
+    LDR  X5, [X4]
+    ADD  X2, X2, #8
+    CMP  X2, #128
+    B.LT loop
+    ADR  X7, greet
+    LDR  X0, [X7]
+    SVC  #2
+    MOV  X0, #7
+    SVC  #0
+greet:
+    .word 72
+`
+
+func testIdentity() Identity {
+	return Identity{Workload: "trace-test", Threads: 1, Tagged: true, Scale: 1}
+}
+
+func recordTestTrace(t *testing.T) (*Trace, *asm.Program) {
+	t.Helper()
+	prog := asm.MustAssemble(testKernel)
+	tr, err := Record(prog, testIdentity(), RecordConfig{MTEOn: true, TagSeed: 0x5eca5a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, prog
+}
+
+func TestRecordCapturesWalk(t *testing.T) {
+	tr, prog := recordTestTrace(t)
+	m := tr.Meta
+	if m.Stop != golden.StopExit.String() || m.ExitCode != 7 {
+		t.Fatalf("stop=%q exit=%d, want exit/7", m.Stop, m.ExitCode)
+	}
+	if m.Insts == 0 || m.Entry != prog.Entry {
+		t.Fatalf("insts=%d entry=%#x vs prog entry %#x", m.Insts, m.Entry, prog.Entry)
+	}
+	if len(tr.Output) == 0 || m.OutputSHA != SHA256Hex(tr.Output) {
+		t.Fatalf("output %q sha %q", tr.Output, m.OutputSHA)
+	}
+	if len(tr.Touches) == 0 {
+		t.Fatal("no touches recorded")
+	}
+	if len(m.Labels) == 0 || m.Labels["greet"] == 0 {
+		t.Fatalf("labels not preserved: %v", m.Labels)
+	}
+}
+
+// TestEncodeDecodeRoundTrip pins the golden-trace round trip: every section
+// survives serialisation byte-exactly, and the reconstructed program is
+// behaviourally identical to the original (same golden walk, same output).
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr, prog := recordTestTrace(t)
+	enc, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec.Meta, tr.Meta) {
+		t.Fatalf("meta drift:\n%+v\n%+v", dec.Meta, tr.Meta)
+	}
+	if !reflect.DeepEqual(dec.Data, tr.Data) || !reflect.DeepEqual(dec.Output, tr.Output) ||
+		!reflect.DeepEqual(dec.Touches, tr.Touches) {
+		t.Fatal("data/output/touches drift")
+	}
+	if !reflect.DeepEqual(dec.Program(), tr.Program()) {
+		t.Fatal("reconstructed programs differ")
+	}
+	// And re-encoding the decoded trace is byte-identical (content
+	// addressing depends on it).
+	enc2, err := dec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(enc, enc2) {
+		t.Fatal("re-encoding is not byte-identical")
+	}
+
+	// Behavioural equality: the golden walk over the reconstructed program
+	// retires the same stream as over the original.
+	a, b := golden.New(prog), golden.New(dec.Program())
+	a.MTEOn, a.TagSeed = true, 0x5eca5a
+	b.MTEOn, b.TagSeed = true, 0x5eca5a
+	ra, rb := a.Run(1<<32), b.Run(1<<32)
+	if !reflect.DeepEqual(ra, rb) {
+		t.Fatalf("walks diverge:\n%+v\n%+v", ra, rb)
+	}
+	if string(a.Snapshot().Output) != string(tr.Output) {
+		t.Fatalf("output %q, recorded %q", a.Snapshot().Output, tr.Output)
+	}
+}
+
+func TestRecordRejectsUnfinishedWalks(t *testing.T) {
+	runaway := asm.MustAssemble(`
+loop:
+    ADD X1, X1, #1
+    B   loop`)
+	if _, err := Record(runaway, testIdentity(), RecordConfig{MaxInsts: 100}); err == nil {
+		t.Fatal("runaway walk recorded")
+	}
+	badPC := asm.MustAssemble(`
+    MOV X7, #0x9000
+    BR  X7
+    SVC #0`)
+	if _, err := Record(badPC, testIdentity(), RecordConfig{}); err == nil {
+		t.Fatal("bad-PC walk recorded")
+	}
+}
+
+// TestDecodeRejectsTruncation cuts the encoded trace at every length: every
+// prefix must fail with a structured corruption error, never decode and
+// never panic.
+func TestDecodeRejectsTruncation(t *testing.T) {
+	tr, _ := recordTestTrace(t)
+	enc, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := 1
+	if len(enc) > 8192 {
+		step = 7
+	}
+	for n := 0; n < len(enc); n += step {
+		_, err := Decode(enc[:n])
+		if err == nil {
+			t.Fatalf("truncation to %d of %d bytes decoded", n, len(enc))
+		}
+		if !IsCorrupt(err) {
+			t.Fatalf("truncation to %d: unstructured error %v", n, err)
+		}
+	}
+}
+
+// TestDecodeRejectsBitFlips flips one bit at every byte position: the
+// whole-file trailer (or an inner checksum/framing check) must catch each.
+func TestDecodeRejectsBitFlips(t *testing.T) {
+	tr, _ := recordTestTrace(t)
+	enc, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := 1
+	if len(enc) > 8192 {
+		step = 5
+	}
+	for i := 0; i < len(enc); i += step {
+		mut := append([]byte(nil), enc...)
+		mut[i] ^= 0x40
+		_, err := Decode(mut)
+		if err == nil {
+			t.Fatalf("bit flip at byte %d decoded", i)
+		}
+		if !IsCorrupt(err) {
+			t.Fatalf("bit flip at byte %d: unstructured error %v", i, err)
+		}
+	}
+	// The two header corruptions have dedicated sentinels.
+	mut := append([]byte(nil), enc...)
+	mut[0] = 'X'
+	if _, err := Decode(mut); !errors.Is(err, ErrFormat) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	mut = append([]byte(nil), enc...)
+	mut[7] = Version + 1
+	if _, err := Decode(mut); !errors.Is(err, ErrVersion) {
+		t.Fatalf("bad version: %v", err)
+	}
+}
+
+func TestStoreSaveLoad(t *testing.T) {
+	s, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := testIdentity()
+	if _, ok, err := Load(s, id); ok || err != nil {
+		t.Fatalf("empty store: ok=%v err=%v", ok, err)
+	}
+	tr, _ := recordTestTrace(t)
+	if err := Save(s, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := Load(s, id)
+	if !ok || err != nil {
+		t.Fatalf("load: ok=%v err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(got.Meta, tr.Meta) {
+		t.Fatal("loaded trace drifted")
+	}
+	// SourceSHA is advisory: a lookup identity without it still hits.
+	idNoSrc := id
+	idNoSrc.SourceSHA = ""
+	if _, ok, err := Load(s, idNoSrc); !ok || err != nil {
+		t.Fatalf("load without SourceSHA: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestStoreLoadMislabelled plants a real trace under another identity's key:
+// Load must refuse with ErrMislabelled rather than replay a stranger's
+// stream.
+func TestStoreLoadMislabelled(t *testing.T) {
+	s, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := recordTestTrace(t)
+	enc, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := Identity{Workload: "someone-else", Threads: 4, Tagged: false, Scale: 0.5}
+	if err := s.Put(other.StoreKey(), enc); err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err := Load(s, other)
+	if ok || !errors.Is(err, ErrMislabelled) {
+		t.Fatalf("mislabelled entry: ok=%v err=%v", ok, err)
+	}
+	if !IsCorrupt(err) {
+		t.Fatalf("mislabel should count as corrupt (re-record): %v", err)
+	}
+}
+
+// TestStoreQuarantinesCorruptEntry corrupts the stored bytes two ways: a
+// disk-level flip (the store's own verification quarantines the file and
+// the next load is a plain miss) and a store-valid-but-trace-garbage entry
+// (the trace decoder rejects it with a structured error).
+func TestStoreQuarantinesCorruptEntry(t *testing.T) {
+	root := t.TempDir()
+	s, err := store.Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := recordTestTrace(t)
+	if err := Save(s, tr); err != nil {
+		t.Fatal(err)
+	}
+	id := testIdentity()
+	key := id.StoreKey()
+
+	// Disk-level flip: store verification catches it, quarantines the file.
+	path := filepath.Join(root, key.Space, key.Name+".entry")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-10] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err := Load(s, id)
+	if ok || !errors.Is(err, store.ErrCorrupt) || !IsCorrupt(err) {
+		t.Fatalf("flipped entry: ok=%v err=%v", ok, err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry not quarantined")
+	}
+	if _, ok, err := Load(s, id); ok || err != nil {
+		t.Fatalf("post-quarantine load should be a plain miss: ok=%v err=%v", ok, err)
+	}
+
+	// Store-valid garbage: the trace decoder is the second line of defence.
+	if err := s.Put(key, []byte("definitely not a trace")); err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err = Load(s, id)
+	if ok || err == nil || !IsCorrupt(err) {
+		t.Fatalf("garbage entry: ok=%v err=%v", ok, err)
+	}
+	// Re-recording heals the slot: Save overwrites, Load round-trips again.
+	if err := Save(s, tr); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := Load(s, id); !ok || err != nil {
+		t.Fatalf("healed entry: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestFrontendRejectsOverlappingBlocks: overlapping code blocks pass the
+// framing checks (each block is internally valid) but must be refused at
+// frontend construction.
+func TestFrontendRejectsOverlappingBlocks(t *testing.T) {
+	tr, _ := recordTestTrace(t)
+	if len(tr.Code) == 0 {
+		t.Fatal("no code blocks")
+	}
+	dup := tr.Code[0]
+	tr.Code = append(tr.Code, asm.CodeBlock{Addr: dup.Addr + 4, Insts: dup.Insts})
+	if _, err := tr.Frontend(); !errors.Is(err, ErrFormat) {
+		t.Fatalf("overlapping blocks: %v", err)
+	}
+}
